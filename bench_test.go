@@ -1,0 +1,188 @@
+// Package repro_test is the benchmark harness required by DESIGN.md: one
+// benchmark per regenerated table/figure (E1-E21) plus micro-benchmarks of
+// the substrate engines. The experiment benchmarks run the corresponding
+// experiment at reduced scale once per iteration and report its headline
+// number as a custom metric, so `go test -bench=.` both exercises and
+// summarizes the whole evaluation matrix.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/wave"
+)
+
+// benchParams is the reduced scale used inside benchmarks (the full-scale
+// tables are produced by cmd/waveexp and recorded in EXPERIMENTS.md).
+func benchParams() experiments.Params {
+	p := experiments.Quick()
+	return p
+}
+
+func benchExperiment(b *testing.B, fn func(experiments.Params) (*experiments.Report, error)) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1MessageLength regenerates the E1 table (latency vs message
+// length; the paper's >3x-for-128-flit claim).
+func BenchmarkE1MessageLength(b *testing.B) { benchExperiment(b, experiments.E1MessageLength) }
+
+// BenchmarkE2LoadSweep regenerates the E2 table (latency/throughput vs load).
+func BenchmarkE2LoadSweep(b *testing.B) { benchExperiment(b, experiments.E2LoadSweep) }
+
+// BenchmarkE3Reuse regenerates the E3 table (short-message reuse crossover).
+func BenchmarkE3Reuse(b *testing.B) { benchExperiment(b, experiments.E3Reuse) }
+
+// BenchmarkE4Replacement regenerates the E4 table (replacement policies).
+func BenchmarkE4Replacement(b *testing.B) { benchExperiment(b, experiments.E4Replacement) }
+
+// BenchmarkE5Misroute regenerates the E5 table (MB-m budget).
+func BenchmarkE5Misroute(b *testing.B) { benchExperiment(b, experiments.E5Misroute) }
+
+// BenchmarkE6SwitchCount regenerates the E6 table (wave switch count k).
+func BenchmarkE6SwitchCount(b *testing.B) { benchExperiment(b, experiments.E6SwitchCount) }
+
+// BenchmarkE7Stress regenerates the E7 table (theorem stress).
+func BenchmarkE7Stress(b *testing.B) { benchExperiment(b, experiments.E7Stress) }
+
+// BenchmarkE8Faults regenerates the E8 table (static fault tolerance).
+func BenchmarkE8Faults(b *testing.B) { benchExperiment(b, experiments.E8Faults) }
+
+// BenchmarkE9Ablation regenerates the E9 table (CLRP phase ablations).
+func BenchmarkE9Ablation(b *testing.B) { benchExperiment(b, experiments.E9Ablation) }
+
+// BenchmarkE10ClockMult regenerates the E10 table (wave clock multiplier).
+func BenchmarkE10ClockMult(b *testing.B) { benchExperiment(b, experiments.E10ClockMult) }
+
+// BenchmarkE11Window regenerates the E11 table (end-to-end window size).
+func BenchmarkE11Window(b *testing.B) { benchExperiment(b, experiments.E11Window) }
+
+// BenchmarkE12Topology regenerates the E12 table (topology comparison).
+func BenchmarkE12Topology(b *testing.B) { benchExperiment(b, experiments.E12Topology) }
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: simulator engine costs.
+
+// BenchmarkWormholeNetworkCycle measures one whole-network cycle of the
+// wormhole engine on a loaded 8x8 torus: the inner loop of every experiment.
+func BenchmarkWormholeNetworkCycle(b *testing.B) {
+	cfg := wave.DefaultConfig()
+	cfg.Protocol = "wormhole"
+	s, err := wave.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Preload steady traffic.
+	for i := 0; i < 64; i++ {
+		s.Send(i, (i+9)%64, 32, false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+		if s.InFlight() < 32 {
+			b.StopTimer()
+			for j := 0; j < 32; j++ {
+				s.Send(j, (j+9)%64, 32, false)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkCircuitSetup measures the full setup round trip: probe out, ack
+// back, cache entry established, then teardown — the per-miss CLRP cost.
+func BenchmarkCircuitSetup(b *testing.B) {
+	cfg := wave.DefaultConfig()
+	cfg.Protocol = "pcs" // per-message circuit: setup + transfer + teardown
+	s, err := wave.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Send(i%64, (i+9)%64, 1, true)
+		if err := s.Drain(100_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCLRPCacheHit measures the steady-state cost of a cached-circuit
+// send (lookup + scheduled transfer), the fast path of the protocol.
+func BenchmarkCLRPCacheHit(b *testing.B) {
+	cfg := wave.DefaultConfig()
+	s, err := wave.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the cache.
+	s.Send(0, 9, 16, true)
+	if err := s.Drain(100_000); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Send(0, 9, 16, true)
+		if err := s.Drain(100_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullRunCLRP measures a complete small measured run (the unit of
+// the experiment harness).
+func BenchmarkFullRunCLRP(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := wave.DefaultConfig()
+		cfg.Topology = wave.TopologyConfig{Kind: "torus", Radix: []int{4, 4}}
+		s, err := wave.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.RunLoad(wave.Workload{
+			Pattern: "uniform", Load: 0.1, FixedLength: 32,
+			WorkingSet: 3, Reuse: 0.8, WantCircuit: true,
+		}, 200, 1500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE13ClosedLoop regenerates the E13 table (closed-loop DSM).
+func BenchmarkE13ClosedLoop(b *testing.B) { benchExperiment(b, experiments.E13ClosedLoop) }
+
+// BenchmarkE14Hybrid regenerates the E14 table (CLRP length threshold).
+func BenchmarkE14Hybrid(b *testing.B) { benchExperiment(b, experiments.E14Hybrid) }
+
+// BenchmarkE15RouterCost regenerates the E15 table (router complexity).
+func BenchmarkE15RouterCost(b *testing.B) { benchExperiment(b, experiments.E15RouterCost) }
+
+// BenchmarkE16Recovery regenerates the E16 table (avoidance vs recovery).
+func BenchmarkE16Recovery(b *testing.B) { benchExperiment(b, experiments.E16Recovery) }
+
+// BenchmarkE17CacheCapacity regenerates the E17 table (cache sizing).
+func BenchmarkE17CacheCapacity(b *testing.B) { benchExperiment(b, experiments.E17CacheCapacity) }
+
+// BenchmarkE18SwitchSpread regenerates the E18 table (initial-switch heuristic).
+func BenchmarkE18SwitchSpread(b *testing.B) { benchExperiment(b, experiments.E18SwitchSpread) }
+
+// BenchmarkE19EndpointBuffers regenerates the E19 table (buffer allocation).
+func BenchmarkE19EndpointBuffers(b *testing.B) { benchExperiment(b, experiments.E19EndpointBuffers) }
+
+// BenchmarkE20SoftwareLayer regenerates the E20 table (messaging software).
+func BenchmarkE20SoftwareLayer(b *testing.B) { benchExperiment(b, experiments.E20SoftwareLayer) }
+
+// BenchmarkE21RoutingFamily regenerates the E21 table (routing comparison).
+func BenchmarkE21RoutingFamily(b *testing.B) { benchExperiment(b, experiments.E21RoutingFamily) }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAcyclicVerdicts(t *testing.T) {
+	cases := [][]string{
+		{"-topology", "mesh", "-radix", "4x4", "-routing", "dor", "-vcs", "1"},
+		{"-topology", "torus", "-radix", "4x4", "-routing", "dor", "-vcs", "2"},
+		{"-topology", "torus", "-radix", "8x8", "-routing", "duato", "-vcs", "3"},
+		{"-topology", "mesh", "-radix", "4x4", "-routing", "duato", "-vcs", "2"},
+		{"-topology", "torus", "-radix", "4x4x4", "-routing", "dor", "-vcs", "2"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if !strings.Contains(out.String(), "VERDICT: ACYCLIC") {
+			t.Fatalf("%v: no acyclic verdict:\n%s", args, out.String())
+		}
+		if !strings.Contains(out.String(), "escape connectivity: OK") {
+			t.Fatalf("%v: connectivity not reported", args)
+		}
+	}
+}
+
+func TestInvalidConfigurations(t *testing.T) {
+	cases := [][]string{
+		{"-routing", "dor", "-topology", "torus", "-vcs", "1"},   // dateline needs 2
+		{"-routing", "duato", "-topology", "torus", "-vcs", "2"}, // needs 3 on torus
+		{"-routing", "nope"},
+		{"-radix", "4xq"},
+		{"-radix", "1x4"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}
+
+func TestAllRoutingFamiliesVerdicts(t *testing.T) {
+	acyclic := [][]string{
+		{"-topology", "mesh", "-radix", "4x4", "-routing", "westfirst", "-vcs", "1"},
+		{"-topology", "mesh", "-radix", "4x4", "-routing", "negativefirst", "-vcs", "1"},
+		{"-topology", "mesh", "-radix", "3x3x3", "-routing", "negativefirst", "-vcs", "2"},
+	}
+	for _, args := range acyclic {
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if !strings.Contains(out.String(), "ACYCLIC") {
+			t.Fatalf("%v: %s", args, out.String())
+		}
+	}
+	// The deliberately unsafe function gets the CYCLIC verdict with a
+	// printed cycle.
+	var out bytes.Buffer
+	err := run([]string{"-topology", "torus", "-radix", "4x4", "-routing", "dor-nodateline", "-vcs", "1"}, &out)
+	if err == nil {
+		t.Fatal("cyclic function did not error")
+	}
+	if !strings.Contains(out.String(), "VERDICT: CYCLIC") {
+		t.Fatalf("missing cyclic verdict:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "link") {
+		t.Fatal("cycle not printed")
+	}
+}

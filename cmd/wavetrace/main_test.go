@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestGenerateKernels(t *testing.T) {
+	for _, kernel := range []string{"stencil", "ring", "alltoall"} {
+		var out bytes.Buffer
+		if err := run([]string{"-kernel", kernel, "-radix", "4x4", "-iters", "2",
+			"-rounds", "2", "-flits", "16", "-gap", "100"}, &out); err != nil {
+			t.Fatalf("%s: %v", kernel, err)
+		}
+		// Output (minus the comment header) must parse back as a valid program.
+		prog, err := trace.Parse(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("%s output unparseable: %v", kernel, err)
+		}
+		if err := prog.Validate(16); err != nil {
+			t.Fatalf("%s: %v", kernel, err)
+		}
+		if len(prog) == 0 {
+			t.Fatalf("%s produced an empty program", kernel)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kernel", "fft"}, &out); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	if err := run([]string{"-radix", "axb"}, &out); err == nil {
+		t.Fatal("bad radix accepted")
+	}
+	if err := run([]string{"-kernel", "alltoall", "-radix", "3x3"}, &out); err == nil {
+		t.Fatal("9-node all-to-all accepted")
+	}
+}
+
+// TestEndToEndWithWavesim pipes a generated program through the simulator —
+// the full compiler -> trace -> CARP flow.
+func TestEndToEndWithWavesim(t *testing.T) {
+	var prog bytes.Buffer
+	if err := run([]string{"-kernel", "ring", "-radix", "4x4", "-rounds", "3",
+		"-flits", "32", "-gap", "150"}, &prog); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := trace.Parse(strings.NewReader(prog.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 nodes x 3 rounds of sends + opens + closes.
+	sends := 0
+	for _, d := range parsed {
+		if d.Op == trace.Send {
+			sends++
+		}
+	}
+	if sends != 48 {
+		t.Fatalf("sends = %d", sends)
+	}
+}

@@ -1,0 +1,65 @@
+// DSM example: a distributed-shared-memory style workload — the paper's
+// motivating case where "messages are directly sent by the hardware ... as a
+// consequence of remote memory accesses or coherence commands" and reducing
+// network hardware latency is crucial.
+//
+// The traffic is bimodal: short coherence commands (4 flits) mixed with cache
+// line data replies (32 flits), with strong temporal locality (each node
+// mostly touches a small set of homes, as a directory protocol does). The
+// example compares wormhole switching with CLRP across locality levels and
+// shows where the cache-of-circuits idea pays.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/wave"
+)
+
+func run(protocol string, reuse float64) (*wave.Result, error) {
+	cfg := wave.DefaultConfig()
+	cfg.Protocol = protocol
+	sim, err := wave.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Spatial locality from process mapping (paper section 1) keeps homes
+	// close by, so circuits are short and many can coexist; the temporal
+	// locality knob is the reuse probability.
+	w := wave.Workload{
+		Pattern:      "near",
+		Load:         0.08,
+		BimodalShort: 4,   // coherence command / ack
+		BimodalLong:  32,  // cache line transfer
+		BimodalPLong: 0.4, // 40% of messages carry data
+		WantCircuit:  true,
+	}
+	if reuse > 0 {
+		w.WorkingSet = 2 // each node's hot home directories
+		w.Reuse = reuse
+	}
+	return sim.RunLoad(w, 2000, 10000)
+}
+
+func main() {
+	fmt.Println("DSM-style bimodal traffic (4-flit commands + 32-flit lines) on an 8x8 torus")
+	fmt.Println()
+	fmt.Printf("%-10s %-10s %-12s %-12s %-10s %-8s\n",
+		"protocol", "locality", "avg-latency", "p99-latency", "circuits", "hit-rate")
+	for _, reuse := range []float64{0, 0.5, 0.9} {
+		for _, proto := range []string{"wormhole", "clrp"} {
+			res, err := run(proto, reuse)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %-10.0f%% %-12.1f %-12.0f %-9.0f%% %-7.0f%%\n",
+				proto, reuse*100, res.AvgLatency, res.P99Latency,
+				res.CircuitFraction*100, res.HitRate*100)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Reading: with no locality, establishing circuits for short messages is overhead;")
+	fmt.Println("as the directory working set stabilises, CLRP amortises setup across reuses and")
+	fmt.Println("wins on both average and tail latency (in-order delivery on circuits included).")
+}

@@ -1,0 +1,65 @@
+// Permutations example: the classic adversarial traffic patterns of the
+// interconnection-network literature (matrix transpose, bit reversal, bit
+// complement, tornado) across three protocols. Permutations are the worst
+// case for dimension-order wormhole routing — every node fires at one fixed
+// partner, so a handful of links saturate — and the best case for circuits,
+// since each node needs exactly one long-lived circuit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/wave"
+)
+
+func main() {
+	patterns := []string{"transpose", "bitreverse", "bitcomplement", "tornado"}
+	protocols := []string{"wormhole", "clrp", "carp"}
+
+	fmt.Println("permutation traffic on an 8x8 torus, 64-flit messages, load 0.10")
+	fmt.Println()
+	fmt.Printf("%-14s", "pattern")
+	for _, p := range protocols {
+		fmt.Printf(" %-12s", p+"-lat")
+	}
+	fmt.Println(" best")
+	for _, pat := range patterns {
+		fmt.Printf("%-14s", pat)
+		best, bestLat := "", 0.0
+		for _, proto := range protocols {
+			cfg := wave.DefaultConfig()
+			cfg.Protocol = proto
+			sim, err := wave.New(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if proto == "carp" {
+				// The compiler knows a permutation exactly: one circuit per
+				// node to its fixed partner, opened before the traffic.
+				if err := sim.OpenAll(pat); err != nil {
+					log.Fatal(err)
+				}
+			}
+			res, err := sim.RunLoad(wave.Workload{
+				Pattern: pat, Load: 0.10, FixedLength: 64, WantCircuit: true,
+			}, 1500, 8000)
+			if err != nil {
+				log.Fatalf("%s/%s: %v", pat, proto, err)
+			}
+			fmt.Printf(" %-12.1f", res.AvgLatency)
+			if best == "" || res.AvgLatency < bestLat {
+				best, bestLat = proto, res.AvgLatency
+			}
+		}
+		fmt.Printf(" %s\n", best)
+	}
+	fmt.Println()
+	fmt.Println("With compiler-planned (CARP) or cached (CLRP) circuits, each node's single")
+	fmt.Println("partner streams contention-free at the wave clock, while dimension-order")
+	fmt.Println("wormhole fights over the few links every permutation stresses. Tornado is")
+	fmt.Println("the exception that proves the Force bit's worth: its circuits are so long")
+	fmt.Println("(half-way around every ring) that 64 of them cannot coexist; CARP's polite")
+	fmt.Println("probes give up and fall back to wormhole, while CLRP's phase-two Force")
+	fmt.Println("steals channels and still gets most traffic onto circuits.")
+}

@@ -1,0 +1,120 @@
+// Package buffer provides the flit queues and credit counters that implement
+// link-level flow control for the wormhole part of the wave router. Wave
+// circuits deliberately have no such buffers — removing them is what enables
+// wave pipelining (paper section 2) — so this package is used only by switch
+// S0's virtual channels and the injection/delivery interfaces.
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+)
+
+// FIFO is a fixed-capacity flit queue implemented as a ring. The zero value
+// is unusable; use NewFIFO.
+type FIFO struct {
+	buf   []flit.Flit
+	head  int
+	count int
+}
+
+// NewFIFO returns a queue holding up to capacity flits.
+func NewFIFO(capacity int) *FIFO {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("buffer: invalid FIFO capacity %d", capacity))
+	}
+	return &FIFO{buf: make([]flit.Flit, capacity)}
+}
+
+// Cap returns the capacity.
+func (f *FIFO) Cap() int { return len(f.buf) }
+
+// Len returns the number of queued flits.
+func (f *FIFO) Len() int { return f.count }
+
+// Free returns the remaining capacity.
+func (f *FIFO) Free() int { return len(f.buf) - f.count }
+
+// Empty reports whether no flits are queued.
+func (f *FIFO) Empty() bool { return f.count == 0 }
+
+// Full reports whether the queue is at capacity.
+func (f *FIFO) Full() bool { return f.count == len(f.buf) }
+
+// Push appends a flit. It returns false (and drops nothing) when full —
+// callers must check credits first, so a false return indicates a flow
+// control bug.
+func (f *FIFO) Push(fl flit.Flit) bool {
+	if f.Full() {
+		return false
+	}
+	f.buf[(f.head+f.count)%len(f.buf)] = fl
+	f.count++
+	return true
+}
+
+// Front returns the flit at the head without removing it.
+func (f *FIFO) Front() (flit.Flit, bool) {
+	if f.count == 0 {
+		return flit.Flit{}, false
+	}
+	return f.buf[f.head], true
+}
+
+// Pop removes and returns the head flit.
+func (f *FIFO) Pop() (flit.Flit, bool) {
+	if f.count == 0 {
+		return flit.Flit{}, false
+	}
+	fl := f.buf[f.head]
+	f.head = (f.head + 1) % len(f.buf)
+	f.count--
+	return fl, true
+}
+
+// Reset discards all contents.
+func (f *FIFO) Reset() {
+	f.head, f.count = 0, 0
+}
+
+// Credits tracks the free buffer slots available at the downstream end of a
+// virtual channel. The upstream router may only forward a flit while
+// Available() > 0; it Takes one credit per flit sent and the downstream
+// router Returns one per flit drained.
+type Credits struct {
+	avail int
+	cap   int
+}
+
+// NewCredits returns a counter initialized to the downstream buffer depth.
+func NewCredits(depth int) *Credits {
+	if depth <= 0 {
+		panic(fmt.Sprintf("buffer: invalid credit depth %d", depth))
+	}
+	return &Credits{avail: depth, cap: depth}
+}
+
+// Available returns the current credit count.
+func (c *Credits) Available() int { return c.avail }
+
+// Take consumes one credit; it panics on underflow because that means a flit
+// was sent without buffer space — a flow-control protocol violation.
+func (c *Credits) Take() {
+	if c.avail == 0 {
+		panic("buffer: credit underflow (flit sent without downstream space)")
+	}
+	c.avail--
+}
+
+// Return releases one credit; it panics on overflow, which would mean the
+// downstream drained a flit it never received.
+func (c *Credits) Return() {
+	if c.avail == c.cap {
+		panic("buffer: credit overflow (more credits returned than taken)")
+	}
+	c.avail++
+}
+
+// Reset restores the full credit count.
+func (c *Credits) Reset() { c.avail = c.cap }

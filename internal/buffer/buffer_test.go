@@ -1,0 +1,179 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flit"
+)
+
+func TestFIFOBasics(t *testing.T) {
+	f := NewFIFO(3)
+	if !f.Empty() || f.Full() || f.Cap() != 3 || f.Free() != 3 {
+		t.Fatalf("fresh FIFO state wrong: len=%d free=%d", f.Len(), f.Free())
+	}
+	for i := 0; i < 3; i++ {
+		if !f.Push(flit.Flit{Seq: i}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if !f.Full() || f.Free() != 0 {
+		t.Fatal("FIFO should be full")
+	}
+	if f.Push(flit.Flit{Seq: 99}) {
+		t.Fatal("push into full FIFO succeeded")
+	}
+	for i := 0; i < 3; i++ {
+		front, ok := f.Front()
+		if !ok || front.Seq != i {
+			t.Fatalf("front %d: %+v ok=%v", i, front, ok)
+		}
+		got, ok := f.Pop()
+		if !ok || got.Seq != i {
+			t.Fatalf("pop %d: %+v ok=%v", i, got, ok)
+		}
+	}
+	if _, ok := f.Pop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+	if _, ok := f.Front(); ok {
+		t.Fatal("front of empty succeeded")
+	}
+}
+
+func TestFIFOWrapAround(t *testing.T) {
+	f := NewFIFO(2)
+	seq := 0
+	for round := 0; round < 10; round++ {
+		f.Push(flit.Flit{Seq: seq})
+		seq++
+		got, _ := f.Pop()
+		if got.Seq != seq-1 {
+			t.Fatalf("wraparound order broken at round %d: got %d", round, got.Seq)
+		}
+	}
+}
+
+func TestFIFOOrderProperty(t *testing.T) {
+	// Property: any interleaving of pushes and pops preserves FIFO order.
+	prop := func(ops []bool) bool {
+		f := NewFIFO(8)
+		next, expect := 0, 0
+		for _, push := range ops {
+			if push {
+				if f.Push(flit.Flit{Seq: next}) {
+					next++
+				}
+			} else if got, ok := f.Pop(); ok {
+				if got.Seq != expect {
+					return false
+				}
+				expect++
+			}
+		}
+		for {
+			got, ok := f.Pop()
+			if !ok {
+				break
+			}
+			if got.Seq != expect {
+				return false
+			}
+			expect++
+		}
+		return expect == next
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOReset(t *testing.T) {
+	f := NewFIFO(4)
+	f.Push(flit.Flit{})
+	f.Push(flit.Flit{})
+	f.Reset()
+	if !f.Empty() {
+		t.Fatal("Reset left contents")
+	}
+}
+
+func TestFIFOInvalidCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFIFO(0) did not panic")
+		}
+	}()
+	NewFIFO(0)
+}
+
+func TestCredits(t *testing.T) {
+	c := NewCredits(2)
+	if c.Available() != 2 {
+		t.Fatalf("initial credits = %d", c.Available())
+	}
+	c.Take()
+	c.Take()
+	if c.Available() != 0 {
+		t.Fatalf("credits after takes = %d", c.Available())
+	}
+	c.Return()
+	if c.Available() != 1 {
+		t.Fatalf("credits after return = %d", c.Available())
+	}
+	c.Reset()
+	if c.Available() != 2 {
+		t.Fatalf("credits after reset = %d", c.Available())
+	}
+}
+
+func TestCreditUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("credit underflow did not panic")
+		}
+	}()
+	c := NewCredits(1)
+	c.Take()
+	c.Take()
+}
+
+func TestCreditOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("credit overflow did not panic")
+		}
+	}()
+	NewCredits(1).Return()
+}
+
+func TestCreditInvalidDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCredits(-1) did not panic")
+		}
+	}()
+	NewCredits(-1)
+}
+
+func TestCreditsMatchFIFO(t *testing.T) {
+	// Credits mirror downstream FIFO occupancy when used according to
+	// protocol: Take on send (push), Return on drain (pop).
+	f := NewFIFO(4)
+	c := NewCredits(4)
+	for i := 0; i < 50; i++ {
+		if i%3 != 0 {
+			if c.Available() > 0 {
+				c.Take()
+				if !f.Push(flit.Flit{Seq: i}) {
+					t.Fatal("push failed with credit available")
+				}
+			}
+		} else if _, ok := f.Pop(); ok {
+			c.Return()
+		}
+		if c.Available() != f.Free() {
+			t.Fatalf("step %d: credits %d != fifo free %d", i, c.Available(), f.Free())
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package events provides a bounded structured event log for protocol-level
+// observability: what the CLRP/CARP machinery actually did, cycle by cycle.
+// The log is a fixed-capacity ring — recording is O(1) and allocation-free
+// after construction — and rendering is deterministic, so traces double as
+// debugging output and as regression artefacts.
+package events
+
+import (
+	"fmt"
+	"io"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds, protocol-level.
+const (
+	// Send: a message entered the protocol at its source.
+	Send Kind = iota
+	// DeliverWormhole: a message arrived through switch S0.
+	DeliverWormhole
+	// DeliverCircuit: a message arrived over a wave circuit.
+	DeliverCircuit
+	// SetupStart: a circuit-establishment sequence began.
+	SetupStart
+	// SetupOK: the acknowledgment returned; circuit usable.
+	SetupOK
+	// SetupFail: every switch failed; wormhole fallback.
+	SetupFail
+	// Phase2: the CLRP Force phase was entered.
+	Phase2
+	// CircuitFreed: a circuit was fully torn down.
+	CircuitFreed
+	// Fallback: a circuit-intended message used wormhole.
+	Fallback
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Send:
+		return "send"
+	case DeliverWormhole:
+		return "deliver-wh"
+	case DeliverCircuit:
+		return "deliver-circ"
+	case SetupStart:
+		return "setup-start"
+	case SetupOK:
+		return "setup-ok"
+	case SetupFail:
+		return "setup-fail"
+	case Phase2:
+		return "phase2"
+	case CircuitFreed:
+		return "circuit-freed"
+	case Fallback:
+		return "fallback"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded protocol action.
+type Event struct {
+	Cycle int64
+	Kind  Kind
+	// Node is the acting node (message source / circuit source).
+	Node int
+	// Peer is the destination node, or -1 when not applicable.
+	Peer int
+	// Arg carries the message or circuit identity.
+	Arg int64
+}
+
+// String renders one event line.
+func (e Event) String() string {
+	return fmt.Sprintf("@%-8d %-13s node=%-3d peer=%-3d arg=%d", e.Cycle, e.Kind, e.Node, e.Peer, e.Arg)
+}
+
+// Log is a fixed-capacity ring of events.
+type Log struct {
+	buf    []Event
+	next   int
+	total  int64
+	byKind [numKinds]int64
+}
+
+// NewLog returns a log retaining the last `capacity` events.
+func NewLog(capacity int) *Log {
+	if capacity < 1 {
+		panic(fmt.Sprintf("events: invalid capacity %d", capacity))
+	}
+	return &Log{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends an event, evicting the oldest when full.
+func (l *Log) Record(e Event) {
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.next] = e
+	}
+	l.next = (l.next + 1) % cap(l.buf)
+	l.total++
+	if int(e.Kind) < len(l.byKind) {
+		l.byKind[e.Kind]++
+	}
+}
+
+// Total returns the number of events ever recorded.
+func (l *Log) Total() int64 { return l.total }
+
+// CountByKind returns the all-time count for one kind.
+func (l *Log) CountByKind(k Kind) int64 {
+	if int(k) >= len(l.byKind) {
+		return 0
+	}
+	return l.byKind[k]
+}
+
+// Events returns the retained events, oldest first.
+func (l *Log) Events() []Event {
+	if len(l.buf) < cap(l.buf) {
+		out := make([]Event, len(l.buf))
+		copy(out, l.buf)
+		return out
+	}
+	out := make([]Event, 0, cap(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// Render writes retained events (oldest first) passing the filter; a nil
+// filter passes everything. It returns the number of lines written.
+func (l *Log) Render(w io.Writer, filter func(Event) bool) (int, error) {
+	n := 0
+	for _, e := range l.Events() {
+		if filter != nil && !filter(e) {
+			continue
+		}
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

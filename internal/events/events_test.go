@@ -1,0 +1,82 @@
+package events
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := Send; k < numKinds; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d renders %q", k, s)
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 3; i++ {
+		l.Record(Event{Cycle: int64(i), Kind: Send, Node: i, Peer: -1, Arg: int64(i)})
+	}
+	evs := l.Events()
+	if len(evs) != 3 || evs[0].Cycle != 0 || evs[2].Cycle != 2 {
+		t.Fatalf("events: %+v", evs)
+	}
+	if l.Total() != 3 {
+		t.Fatalf("total = %d", l.Total())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l := NewLog(3)
+	for i := 0; i < 10; i++ {
+		l.Record(Event{Cycle: int64(i), Kind: SetupOK})
+	}
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	if evs[0].Cycle != 7 || evs[2].Cycle != 9 {
+		t.Fatalf("wrong window: %+v", evs)
+	}
+	if l.Total() != 10 {
+		t.Fatalf("total = %d", l.Total())
+	}
+	if l.CountByKind(SetupOK) != 10 {
+		t.Fatalf("byKind = %d", l.CountByKind(SetupOK))
+	}
+	if l.CountByKind(Kind(99)) != 0 {
+		t.Fatal("unknown kind counted")
+	}
+}
+
+func TestRenderWithFilter(t *testing.T) {
+	l := NewLog(8)
+	l.Record(Event{Cycle: 1, Kind: Send, Node: 0, Peer: 5, Arg: 1})
+	l.Record(Event{Cycle: 2, Kind: SetupOK, Node: 0, Peer: 5, Arg: 7})
+	l.Record(Event{Cycle: 3, Kind: DeliverCircuit, Node: 0, Peer: 5, Arg: 1})
+	var b strings.Builder
+	n, err := l.Render(&b, func(e Event) bool { return e.Kind == SetupOK })
+	if err != nil || n != 1 {
+		t.Fatalf("render: n=%d err=%v", n, err)
+	}
+	if !strings.Contains(b.String(), "setup-ok") {
+		t.Fatalf("rendered: %q", b.String())
+	}
+	b.Reset()
+	if n, _ := l.Render(&b, nil); n != 3 {
+		t.Fatalf("unfiltered lines = %d", n)
+	}
+}
+
+func TestInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewLog(0)
+}

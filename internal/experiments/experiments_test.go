@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/wave"
+)
+
+// TestAllExperimentsRunQuick executes every experiment at quick scale: the
+// tables must be well-formed and the runs deadlock-free.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	p := Quick()
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			rep, err := e.Fn(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ID == "" || rep.Title == "" {
+				t.Fatal("missing report metadata")
+			}
+			out := rep.Table.String()
+			if strings.Count(out, "\n") < 3 {
+				t.Fatalf("table too small:\n%s", out)
+			}
+			if len(rep.Notes) == 0 {
+				t.Fatal("missing notes")
+			}
+		})
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := Sorted()
+	if len(ids) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(ids))
+	}
+}
+
+// TestE1Shape verifies the headline claim's shape at quick scale: the
+// no-reuse gain must grow with message length and exceed 1 for long
+// messages.
+func TestE1Shape(t *testing.T) {
+	rep, err := E1MessageLength(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := rep.Table.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	var firstGain, lastGain string
+	for i, ln := range lines {
+		cells := strings.Split(ln, ",")
+		if i == 1 {
+			firstGain = cells[4]
+		}
+		if i == len(lines)-1 {
+			lastGain = cells[4]
+		}
+	}
+	fg, err := strconv.ParseFloat(firstGain, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := strconv.ParseFloat(lastGain, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg <= fg {
+		t.Fatalf("no-reuse gain did not grow with length: %.2f -> %.2f", fg, lg)
+	}
+	if lg < 1.5 {
+		t.Fatalf("long-message gain %.2f too small", lg)
+	}
+}
+
+// TestHeadlineClaimCrossSeed replicates the E1 headline (256-flit gain,
+// no reuse) across seeds: the >3x factor is not a lucky seed.
+func TestHeadlineClaimCrossSeed(t *testing.T) {
+	p := Quick()
+	gain := func(seed uint64) (float64, error) {
+		run := func(protocol string) (float64, error) {
+			cfg := baseConfig(p)
+			cfg.Seed = seed
+			cfg.Protocol = protocol
+			cfg.NumSwitches = 1
+			cfg.MaxMisroutes = 0
+			res, err := runOne(cfg, wave.Workload{
+				Pattern: "uniform", Load: 0.02, FixedLength: 256,
+				WantCircuit: true, Seed: seed + 77,
+			}, p)
+			if err != nil {
+				return 0, err
+			}
+			return res.AvgLatency, nil
+		}
+		wh, err := run("wormhole")
+		if err != nil {
+			return 0, err
+		}
+		pcs, err := run("pcs")
+		if err != nil {
+			return 0, err
+		}
+		return wh / pcs, nil
+	}
+	mean, ci, err := Replicate(4, 11, gain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean-ci < 2.5 {
+		t.Fatalf("cross-seed gain %.2f +/- %.2f too weak for the headline claim", mean, ci)
+	}
+}
+
+func TestReplicateValidation(t *testing.T) {
+	if _, _, err := Replicate(0, 1, func(uint64) (float64, error) { return 0, nil }); err == nil {
+		t.Fatal("0 reps accepted")
+	}
+}
+
+// TestSaturationLoadOrdersProtocols: the saturation metric must rank CLRP
+// (contention-free circuits) above plain wormhole under locality.
+func TestSaturationLoadOrdersProtocols(t *testing.T) {
+	p := Quick()
+	w := wave.Workload{
+		Pattern: "near", FixedLength: 64,
+		WorkingSet: 2, Reuse: 0.9, WantCircuit: true,
+	}
+	sat := func(protocol string) float64 {
+		cfg := baseConfig(p)
+		cfg.Protocol = protocol
+		v, err := SaturationLoad(cfg, w, p, 3.0, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	wh, cl := sat("wormhole"), sat("clrp")
+	if cl <= wh {
+		t.Fatalf("clrp saturation %.3f not above wormhole %.3f", cl, wh)
+	}
+}
+
+func TestSaturationLoadValidation(t *testing.T) {
+	if _, err := SaturationLoad(baseConfig(Quick()), wave.Workload{}, Quick(), 1.0, 0.1); err == nil {
+		t.Fatal("factor 1 accepted")
+	}
+	if _, err := SaturationLoad(baseConfig(Quick()), wave.Workload{}, Quick(), 3.0, 0); err == nil {
+		t.Fatal("zero tolerance accepted")
+	}
+}

@@ -1,0 +1,70 @@
+// Package fault injects static link faults into the wave-switching network
+// for the E8 resilience experiments. The paper notes that the MB-m probe
+// protocol "is very resilient to static faults in the network" [12]; faults
+// here disable wave channels (circuit setup must route around or fall back
+// to wormhole), matching the static-fault model of that reference.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/pcs"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Plan is a set of wave channels to disable before a run.
+type Plan struct {
+	Channels []pcs.Channel
+}
+
+// RandomChannels draws `count` distinct faulty wave channels uniformly over
+// the existing links and the k wave switches. It fails if count exceeds the
+// number of wave channels.
+func RandomChannels(topo topology.Topology, numSwitches, count int, seed uint64) (Plan, error) {
+	var all []pcs.Channel
+	for id := 0; id < topo.NumLinkSlots(); id++ {
+		if _, ok := topo.LinkByID(topology.LinkID(id)); !ok {
+			continue
+		}
+		for sw := 0; sw < numSwitches; sw++ {
+			all = append(all, pcs.Channel{Link: topology.LinkID(id), Switch: sw})
+		}
+	}
+	if count < 0 || count > len(all) {
+		return Plan{}, fmt.Errorf("fault: count %d out of range (0..%d)", count, len(all))
+	}
+	rng := sim.NewRNG(seed)
+	perm := rng.Perm(len(all))
+	plan := Plan{Channels: make([]pcs.Channel, count)}
+	for i := 0; i < count; i++ {
+		plan.Channels[i] = all[perm[i]]
+	}
+	return plan, nil
+}
+
+// Apply marks every planned channel faulty in the PCS engine.
+func (p Plan) Apply(e *pcs.Engine) {
+	for _, ch := range p.Channels {
+		e.InjectFault(ch)
+	}
+}
+
+// NodeIsolating returns a plan faulting every wave channel out of node n —
+// the worst case for circuit setup from that node (used to drive the
+// wormhole-fallback guarantee).
+func NodeIsolating(topo topology.Topology, numSwitches int, n topology.Node) Plan {
+	var plan Plan
+	for dim := 0; dim < topo.Dims(); dim++ {
+		for _, dir := range []topology.Dir{topology.Plus, topology.Minus} {
+			link, ok := topo.OutLink(n, dim, dir)
+			if !ok {
+				continue
+			}
+			for sw := 0; sw < numSwitches; sw++ {
+				plan.Channels = append(plan.Channels, pcs.Channel{Link: link, Switch: sw})
+			}
+		}
+	}
+	return plan
+}

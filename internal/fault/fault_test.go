@@ -1,0 +1,108 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/pcs"
+	"repro/internal/topology"
+)
+
+type nullHost struct{}
+
+func (nullHost) RequestLocalRelease(topology.Node, func(pcs.Channel) bool) (pcs.Channel, bool) {
+	return pcs.Channel{}, false
+}
+func (nullHost) RequestRemoteRelease(circuit.ID) {}
+func (nullHost) Progress()                       {}
+
+func TestRandomChannelsDistinctAndValid(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	plan, err := RandomChannels(topo, 2, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Channels) != 20 {
+		t.Fatalf("plan size = %d", len(plan.Channels))
+	}
+	seen := map[pcs.Channel]bool{}
+	for _, ch := range plan.Channels {
+		if seen[ch] {
+			t.Fatalf("duplicate fault %+v", ch)
+		}
+		seen[ch] = true
+		if _, ok := topo.LinkByID(ch.Link); !ok {
+			t.Fatalf("fault on missing link %+v", ch)
+		}
+		if ch.Switch < 0 || ch.Switch >= 2 {
+			t.Fatalf("fault on bad switch %+v", ch)
+		}
+	}
+}
+
+func TestRandomChannelsBounds(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	// 64 links x 2 switches = 128 channels.
+	if _, err := RandomChannels(topo, 2, 129, 1); err == nil {
+		t.Fatal("oversized plan accepted")
+	}
+	if _, err := RandomChannels(topo, 2, -1, 1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if p, err := RandomChannels(topo, 2, 128, 1); err != nil || len(p.Channels) != 128 {
+		t.Fatalf("full plan: %v, %d", err, len(p.Channels))
+	}
+}
+
+func TestRandomChannelsDeterministic(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, false)
+	a, _ := RandomChannels(topo, 1, 10, 42)
+	b, _ := RandomChannels(topo, 1, 10, 42)
+	for i := range a.Channels {
+		if a.Channels[i] != b.Channels[i] {
+			t.Fatal("plans differ for same seed")
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, false)
+	e, err := pcs.New(topo, pcs.Params{NumSwitches: 2, MaxMisroutes: 1}, nullHost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _ := RandomChannels(topo, 2, 12, 3)
+	plan.Apply(e)
+	for _, ch := range plan.Channels {
+		if e.ChannelStatus(ch) != pcs.Faulty {
+			t.Fatalf("channel %+v not faulty after Apply", ch)
+		}
+	}
+}
+
+func TestNodeIsolating(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, false)
+	// Corner node 0 on a mesh has 2 outgoing links; 2 switches -> 4 channels.
+	plan := NodeIsolating(topo, 2, 0)
+	if len(plan.Channels) != 4 {
+		t.Fatalf("corner isolation channels = %d, want 4", len(plan.Channels))
+	}
+	// Interior node 5 has 4 links -> 8 channels.
+	plan = NodeIsolating(topo, 2, 5)
+	if len(plan.Channels) != 8 {
+		t.Fatalf("interior isolation channels = %d, want 8", len(plan.Channels))
+	}
+	e, err := pcs.New(topo, pcs.Params{NumSwitches: 2, MaxMisroutes: 1}, nullHost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Apply(e)
+	var res *pcs.SetupResult
+	e.LaunchProbe(5, 10, 0, false, func(r pcs.SetupResult) { res = &r })
+	for c := 0; c < 200 && res == nil; c++ {
+		e.Cycle(int64(c))
+	}
+	if res == nil || res.OK {
+		t.Fatalf("probe from isolated node should fail fast: %+v", res)
+	}
+}

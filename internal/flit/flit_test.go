@@ -1,0 +1,169 @@
+package flit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindPredicates(t *testing.T) {
+	cases := []struct {
+		k                     Kind
+		isControl, head, tail bool
+	}{
+		{Head, false, true, false},
+		{Body, false, false, false},
+		{Tail, false, false, true},
+		{HeadTail, false, true, true},
+		{Probe, true, false, false},
+		{Ack, true, false, false},
+		{Teardown, true, false, false},
+		{Release, true, false, false},
+	}
+	for _, c := range cases {
+		if c.k.IsControl() != c.isControl {
+			t.Errorf("%v.IsControl() = %v", c.k, c.k.IsControl())
+		}
+		if c.k.IsHead() != c.head {
+			t.Errorf("%v.IsHead() = %v", c.k, c.k.IsHead())
+		}
+		if c.k.IsTail() != c.tail {
+			t.Errorf("%v.IsTail() = %v", c.k, c.k.IsTail())
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Head; k <= Release; k++ {
+		if s := k.String(); s == "" || s[0] == 'k' {
+			t.Errorf("kind %d has bad string %q", k, s)
+		}
+	}
+	if s := Kind(200).String(); s != "kind(200)" {
+		t.Errorf("unknown kind string = %q", s)
+	}
+}
+
+func TestMessageFlits(t *testing.T) {
+	m := Message{ID: 7, Src: 1, Dst: 9, Len: 4}
+	fs := m.Flits()
+	if len(fs) != 4 {
+		t.Fatalf("flit count = %d", len(fs))
+	}
+	if fs[0].Kind != Head || fs[1].Kind != Body || fs[2].Kind != Body || fs[3].Kind != Tail {
+		t.Fatalf("kinds = %v %v %v %v", fs[0].Kind, fs[1].Kind, fs[2].Kind, fs[3].Kind)
+	}
+	for i, f := range fs {
+		if f.Seq != i || f.Msg != 7 || f.Src != 1 || f.Dst != 9 {
+			t.Fatalf("flit %d fields wrong: %+v", i, f)
+		}
+	}
+}
+
+func TestSingleFlitMessage(t *testing.T) {
+	fs := Message{ID: 1, Len: 1}.Flits()
+	if len(fs) != 1 || fs[0].Kind != HeadTail {
+		t.Fatalf("single-flit message wrong: %+v", fs)
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	if fs := (Message{Len: 0}).Flits(); fs != nil {
+		t.Fatalf("zero-length message produced flits: %v", fs)
+	}
+}
+
+// TestFig4ProbeFormat is the structural reproduction of Figure 4: the probe
+// carries exactly Header, Backtrack, Misroute, Force and the Xi-offsets, and
+// the wire encoding round-trips all of them.
+func TestFig4ProbeFormat(t *testing.T) {
+	p := ProbeFields{
+		Header:    true,
+		Backtrack: true,
+		Misroute:  3,
+		Force:     true,
+		Offsets:   []int{-4, 0, 7},
+	}
+	buf := make([]byte, EncodedSize(3))
+	n, err := p.Encode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("encoded size = %d, want 4", n)
+	}
+	got, err := Decode(buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Backtrack != p.Backtrack || got.Force != p.Force || got.Misroute != p.Misroute {
+		t.Fatalf("flags round trip failed: %+v vs %+v", got, p)
+	}
+	for i := range p.Offsets {
+		if got.Offsets[i] != p.Offsets[i] {
+			t.Fatalf("offset %d round trip: %d vs %d", i, got.Offsets[i], p.Offsets[i])
+		}
+	}
+}
+
+func TestProbeEncodeRoundTripProperty(t *testing.T) {
+	prop := func(bt, force bool, mis uint8, o1, o2 int8) bool {
+		p := ProbeFields{
+			Header:    true,
+			Backtrack: bt,
+			Force:     force,
+			Misroute:  mis % (MaxMisroutes + 1),
+			Offsets:   []int{int(o1), int(o2)},
+		}
+		buf := make([]byte, EncodedSize(2))
+		if _, err := p.Encode(buf); err != nil {
+			return false
+		}
+		got, err := Decode(buf, 2)
+		if err != nil {
+			return false
+		}
+		return got.Backtrack == p.Backtrack && got.Force == p.Force &&
+			got.Misroute == p.Misroute &&
+			got.Offsets[0] == p.Offsets[0] && got.Offsets[1] == p.Offsets[1]
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeEncodeErrors(t *testing.T) {
+	p := ProbeFields{Header: true, Offsets: []int{1, 2}}
+	if _, err := p.Encode(make([]byte, 1)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	p.Misroute = MaxMisroutes + 1
+	if _, err := p.Encode(make([]byte, 8)); err == nil {
+		t.Fatal("oversized misroute accepted")
+	}
+	p.Misroute = 0
+	p.Offsets = []int{1000}
+	if _, err := p.Encode(make([]byte, 8)); err == nil {
+		t.Fatal("oversized offset accepted")
+	}
+}
+
+func TestProbeDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{0x80}, 2); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	// Header bit clear: not a probe.
+	if _, err := Decode([]byte{0x00, 0, 0}, 2); err == nil {
+		t.Fatal("non-probe accepted")
+	}
+}
+
+func TestAtDestination(t *testing.T) {
+	p := ProbeFields{Offsets: []int{0, 0, 0}}
+	if !p.AtDestination() {
+		t.Fatal("zero offsets not at destination")
+	}
+	p.Offsets[1] = -1
+	if p.AtDestination() {
+		t.Fatal("nonzero offset at destination")
+	}
+}

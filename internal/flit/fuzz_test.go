@@ -1,0 +1,39 @@
+package flit
+
+import "testing"
+
+// FuzzDecode throws arbitrary bytes at the probe decoder: no panics, and
+// every accepted probe survives an encode/decode round trip structurally.
+// (Byte-level identity is NOT required: the wire format has one unused flag
+// bit whose value decode ignores, so re-encoding canonicalizes it.)
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{0x80, 0x01, 0xFF}, 2)
+	f.Add([]byte{0xE3, 0x00}, 1)
+	f.Add([]byte{0x00, 0x00, 0x00}, 2)
+	f.Add([]byte{0xFF, 0x30, 0x30}, 2) // non-canonical: unused bit 4 set
+	f.Fuzz(func(t *testing.T, data []byte, dims int) {
+		if dims < 0 || dims > 8 {
+			return
+		}
+		p, err := Decode(data, dims)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, EncodedSize(dims))
+		if _, err := p.Encode(buf); err != nil {
+			t.Fatalf("decoded probe failed to encode: %v", err)
+		}
+		p2, err := Decode(buf, dims)
+		if err != nil {
+			t.Fatalf("canonical bytes failed to decode: %v", err)
+		}
+		if p2.Backtrack != p.Backtrack || p2.Force != p.Force || p2.Misroute != p.Misroute {
+			t.Fatalf("structural round trip: %+v vs %+v", p2, p)
+		}
+		for d := range p.Offsets {
+			if p2.Offsets[d] != p.Offsets[d] {
+				t.Fatalf("offset %d: %d vs %d", d, p2.Offsets[d], p.Offsets[d])
+			}
+		}
+	})
+}

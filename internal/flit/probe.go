@@ -1,0 +1,124 @@
+package flit
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ProbeID identifies one circuit-establishment attempt (one probe lifetime,
+// covering a single wave switch search).
+type ProbeID int64
+
+// ProbeFields is the routing probe exactly as Figure 4 of the paper lays it
+// out: Header bit, Backtrack bit, Misroute count, Force bit, and one signed
+// offset per network dimension measured from the destination node.
+//
+// The simulator carries richer bookkeeping alongside (see pcs.Probe); this
+// struct is the on-the-wire format, and Encode/Decode prove it round-trips
+// within the bit budget a control flit provides.
+type ProbeFields struct {
+	// Header identifies the flit as a probe. Always true on the wire.
+	Header bool
+	// Backtrack indicates whether the probe is progressing (false) or
+	// backtracking toward its source (true).
+	Backtrack bool
+	// Misroute is the number of misrouting operations performed so far on the
+	// current path; the MB-m protocol bounds it by m.
+	Misroute uint8
+	// Force makes the probe tear circuits down instead of backtracking when
+	// it finds no free valid channel (CLRP phase two).
+	Force bool
+	// Offsets holds the per-dimension signed offsets from the destination
+	// (X1-offset .. Xn-offset in Figure 4). The probe is at its destination
+	// when all offsets are zero.
+	Offsets []int
+}
+
+// Probe wire-format geometry. Offsets are stored in offsetBits-wide two's
+// complement fields, enough for any radix the simulator supports.
+const (
+	offsetBits   = 8
+	misrouteBits = 4
+	// MaxMisroutes is the largest representable misroute count.
+	MaxMisroutes = 1<<misrouteBits - 1
+	// maxOffset is the largest representable per-dimension offset magnitude.
+	maxOffset = 1<<(offsetBits-1) - 1
+)
+
+// EncodedSize returns the number of bytes Encode produces for a probe with
+// dims offset fields.
+func EncodedSize(dims int) int {
+	// 3 flag bits + misroute count packed in the first byte, then one byte
+	// per dimension offset.
+	return 1 + dims
+}
+
+var (
+	errShortBuf  = errors.New("flit: buffer too small for probe")
+	errNotProbe  = errors.New("flit: header bit clear, not a probe")
+	errBadOffset = errors.New("flit: offset exceeds encodable range")
+)
+
+// Encode packs the probe into buf (len >= EncodedSize(len(Offsets))) and
+// returns the byte count. The layout is: byte 0 = [header|backtrack|force|
+// unused | misroute(4)]; bytes 1..n = per-dimension offsets as signed bytes.
+func (p *ProbeFields) Encode(buf []byte) (int, error) {
+	n := EncodedSize(len(p.Offsets))
+	if len(buf) < n {
+		return 0, errShortBuf
+	}
+	if p.Misroute > MaxMisroutes {
+		return 0, fmt.Errorf("flit: misroute count %d exceeds field width", p.Misroute)
+	}
+	var b0 byte
+	if p.Header {
+		b0 |= 1 << 7
+	}
+	if p.Backtrack {
+		b0 |= 1 << 6
+	}
+	if p.Force {
+		b0 |= 1 << 5
+	}
+	b0 |= p.Misroute & MaxMisroutes
+	buf[0] = b0
+	for i, off := range p.Offsets {
+		if off > maxOffset || off < -maxOffset-1 {
+			return 0, errBadOffset
+		}
+		buf[1+i] = byte(int8(off))
+	}
+	return n, nil
+}
+
+// Decode unpacks a probe with dims offsets from buf.
+func Decode(buf []byte, dims int) (ProbeFields, error) {
+	if len(buf) < EncodedSize(dims) {
+		return ProbeFields{}, errShortBuf
+	}
+	b0 := buf[0]
+	if b0&(1<<7) == 0 {
+		return ProbeFields{}, errNotProbe
+	}
+	p := ProbeFields{
+		Header:    true,
+		Backtrack: b0&(1<<6) != 0,
+		Force:     b0&(1<<5) != 0,
+		Misroute:  b0 & MaxMisroutes,
+		Offsets:   make([]int, dims),
+	}
+	for i := 0; i < dims; i++ {
+		p.Offsets[i] = int(int8(buf[1+i]))
+	}
+	return p, nil
+}
+
+// AtDestination reports whether every offset is zero.
+func (p *ProbeFields) AtDestination() bool {
+	for _, o := range p.Offsets {
+		if o != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,120 @@
+// Package msglayer models the software messaging overheads of paper
+// section 1: "This system call has a considerable overhead due to buffer
+// allocation at source and destination nodes, message copying between user
+// and kernel space, packetization, in-order delivery and end-to-end flow
+// control. Even for a very efficient messaging layer based on active
+// messages, software overhead accounts for 50-70% of the total cost."
+//
+// The model prices one message send/receive in processor cycles as a
+// function of message length and of whether a pre-established circuit
+// carries it. Circuits remove three of the cost terms, per the paper:
+// buffers are pre-allocated at both ends when the circuit is established
+// and reused by every message; the circuit delivers in order, so no
+// sequencing/reassembly is needed; and packetization disappears because the
+// circuit is a dedicated pipe. Experiment E20 combines these costs with the
+// measured hardware latencies to reproduce the section-1 argument
+// quantitatively.
+package msglayer
+
+import "fmt"
+
+// Costs prices the software half of one message transfer, in cycles.
+type Costs struct {
+	// Name labels the messaging layer.
+	Name string
+	// SendSetup is the fixed send-side cost (system call, argument checks).
+	SendSetup int64
+	// RecvSetup is the fixed receive-side cost (dispatch, completion).
+	RecvSetup int64
+	// BufferMgmt is the buffer allocation + copy cost, paid per message end
+	// to end; circuits amortise it away after establishment.
+	BufferMgmt int64
+	// PerPacket is the packetization cost per MTU-sized packet; circuits
+	// carry the message unpacketized.
+	PerPacket int64
+	// PacketMTU is the packet payload in flits.
+	PacketMTU int
+	// Ordering is the sequencing/reassembly cost per packet; circuits
+	// deliver in order for free.
+	Ordering int64
+}
+
+// Multicomputer returns costs shaped like a classic OS messaging stack
+// (hundreds of cycles of system-call and copy overhead per message).
+func Multicomputer() Costs {
+	return Costs{
+		Name:       "multicomputer",
+		SendSetup:  250,
+		RecvSetup:  250,
+		BufferMgmt: 300,
+		PerPacket:  60,
+		PacketMTU:  32,
+		Ordering:   20,
+	}
+}
+
+// ActiveMessages returns costs shaped like an efficient user-level layer
+// (the paper's reference [20]): small fixed handler costs, no kernel copies.
+func ActiveMessages() Costs {
+	return Costs{
+		Name:       "active-messages",
+		SendSetup:  40,
+		RecvSetup:  40,
+		BufferMgmt: 60,
+		PerPacket:  15,
+		PacketMTU:  32,
+		Ordering:   5,
+	}
+}
+
+// DSM returns the zero-software model: "messages are directly sent by the
+// hardware in DSMs, as a consequence of remote memory accesses or coherence
+// commands".
+func DSM() Costs {
+	return Costs{Name: "dsm"}
+}
+
+// Validate checks internal consistency.
+func (c Costs) Validate() error {
+	if c.SendSetup < 0 || c.RecvSetup < 0 || c.BufferMgmt < 0 || c.PerPacket < 0 || c.Ordering < 0 {
+		return fmt.Errorf("msglayer: negative cost in %q", c.Name)
+	}
+	if c.PerPacket > 0 && c.PacketMTU < 1 {
+		return fmt.Errorf("msglayer: %q has per-packet cost but no MTU", c.Name)
+	}
+	return nil
+}
+
+// packets returns the packet count for a message of lenFlits.
+func (c Costs) packets(lenFlits int) int64 {
+	if c.PacketMTU < 1 {
+		return 1
+	}
+	return int64((lenFlits + c.PacketMTU - 1) / c.PacketMTU)
+}
+
+// Overhead returns the software cycles added to one message of lenFlits.
+// onCircuit applies the paper's circuit savings: pre-allocated, reused
+// buffers; no packetization; hardware-guaranteed ordering.
+func (c Costs) Overhead(lenFlits int, onCircuit bool) int64 {
+	if lenFlits < 1 {
+		return 0
+	}
+	total := c.SendSetup + c.RecvSetup
+	if !onCircuit {
+		p := c.packets(lenFlits)
+		total += c.BufferMgmt + p*(c.PerPacket+c.Ordering)
+	}
+	return total
+}
+
+// SoftwareShare returns the software fraction of the total cost for a
+// message whose hardware latency is hwCycles — the statistic the paper
+// quotes as 50-70 % for multicomputers.
+func (c Costs) SoftwareShare(lenFlits int, onCircuit bool, hwCycles float64) float64 {
+	sw := float64(c.Overhead(lenFlits, onCircuit))
+	if sw+hwCycles <= 0 {
+		return 0
+	}
+	return sw / (sw + hwCycles)
+}

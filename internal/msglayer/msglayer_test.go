@@ -1,0 +1,84 @@
+package msglayer
+
+import "testing"
+
+func TestPresetsValidate(t *testing.T) {
+	for _, c := range []Costs{Multicomputer(), ActiveMessages(), DSM()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	bad := Costs{Name: "bad", SendSetup: -1}
+	if bad.Validate() == nil {
+		t.Error("negative cost accepted")
+	}
+	bad = Costs{Name: "bad2", PerPacket: 10}
+	if bad.Validate() == nil {
+		t.Error("per-packet without MTU accepted")
+	}
+}
+
+func TestOverheadScalesWithPackets(t *testing.T) {
+	c := Multicomputer()
+	short := c.Overhead(16, false) // 1 packet
+	long := c.Overhead(128, false) // 4 packets
+	if long <= short {
+		t.Fatalf("long overhead %d not above short %d", long, short)
+	}
+	// Exactly: fixed + buffer + packets*(perPacket+ordering).
+	want := int64(250+250+300) + 4*(60+20)
+	if long != want {
+		t.Fatalf("overhead(128) = %d, want %d", long, want)
+	}
+}
+
+func TestCircuitSavings(t *testing.T) {
+	c := Multicomputer()
+	onCirc := c.Overhead(128, true)
+	offCirc := c.Overhead(128, false)
+	if onCirc >= offCirc {
+		t.Fatalf("circuit overhead %d not below wormhole %d", onCirc, offCirc)
+	}
+	// On a circuit only the fixed setup costs remain.
+	if onCirc != 500 {
+		t.Fatalf("circuit overhead = %d, want 500", onCirc)
+	}
+}
+
+func TestDSMZeroOverhead(t *testing.T) {
+	c := DSM()
+	if c.Overhead(256, false) != 0 || c.Overhead(1, true) != 0 {
+		t.Fatal("DSM overhead nonzero")
+	}
+}
+
+func TestZeroLengthMessage(t *testing.T) {
+	if Multicomputer().Overhead(0, false) != 0 {
+		t.Fatal("zero-length message charged")
+	}
+}
+
+// TestPaperShareClaim reproduces the 50-70% software-share quote: with the
+// active-messages model and typical wormhole hardware latencies (tens of
+// cycles), software dominates.
+func TestPaperShareClaim(t *testing.T) {
+	c := ActiveMessages()
+	share := c.SoftwareShare(64, false, 70) // 64-flit message, ~70-cycle network
+	if share < 0.5 || share > 0.8 {
+		t.Fatalf("software share = %.2f, want the paper's 50-70%% ballpark", share)
+	}
+	// For DSM the share is zero: hardware is everything.
+	if DSM().SoftwareShare(64, false, 70) != 0 {
+		t.Fatal("DSM share nonzero")
+	}
+}
+
+func TestSoftwareShareEdges(t *testing.T) {
+	if DSM().SoftwareShare(8, false, 0) != 0 {
+		t.Fatal("0/0 share not 0")
+	}
+	c := Multicomputer()
+	if s := c.SoftwareShare(8, false, 0); s != 1 {
+		t.Fatalf("pure-software share = %g, want 1", s)
+	}
+}

@@ -1,0 +1,869 @@
+// Package pcs implements the pipelined-circuit-switching routing control
+// unit of the wave router (paper section 2): the status registers of
+// Figure 3 (Channel Status, Direct and Reverse Channel Mappings, History
+// Store, Ack Returned), the MB-m misrouting-backtracking probe protocol of
+// Gaughan & Yalamanchili [12], and the control-flit machinery for
+// acknowledgments, circuit teardown and the CLRP Force-phase release
+// requests, including the race rules Theorem 1's proof relies on (the first
+// release request wins, duplicates and stale requests are discarded).
+//
+// All control traffic moves one hop per cycle on the dedicated single-flit
+// control channels. The package is independent of the wormhole engine: the
+// paper's two switching techniques "do not interact. Each switching technique
+// uses its own set of resources."
+package pcs
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/flit"
+	"repro/internal/topology"
+)
+
+// Channel identifies one wave physical channel: a directed link and the wave
+// switch S_{Switch+1} it belongs to (Switch is 0-based over the k wave
+// switches).
+type Channel struct {
+	Link   topology.LinkID
+	Switch int
+}
+
+// Status is the Channel Status register value (Figure 3), extended with the
+// faulty state the paper mentions ("It can be easily extended to handle
+// faulty channels").
+type Status uint8
+
+const (
+	// Free: available for reservation.
+	Free Status = iota
+	// Reserved: held by a probe; the circuit is being established.
+	Reserved
+	// Established: part of a circuit whose acknowledgment has returned.
+	Established
+	// Faulty: statically failed; never selectable.
+	Faulty
+)
+
+func (s Status) String() string {
+	switch s {
+	case Free:
+		return "free"
+	case Reserved:
+		return "reserved"
+	case Established:
+		return "established"
+	case Faulty:
+		return "faulty"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Host is the interface back into the network-interface layer; the CLRP
+// Force phase needs to consult and manipulate circuit caches at arbitrary
+// nodes.
+type Host interface {
+	// RequestLocalRelease asks node n's circuit cache for an evictable
+	// circuit whose source output channel satisfies wanted; the host marks it
+	// release-requested (tearing it down once idle) and returns the channel
+	// it will free, or ok=false when no local circuit qualifies.
+	RequestLocalRelease(n topology.Node, wanted func(Channel) bool) (Channel, bool)
+	// RequestRemoteRelease tells the source NI of circuit id that a remote
+	// node requests its release. It fires when a release control flit reaches
+	// the circuit's source.
+	RequestRemoteRelease(id circuit.ID)
+	// Progress feeds the watchdog.
+	Progress()
+}
+
+// SetupResult reports the outcome of one probe attempt.
+type SetupResult struct {
+	Probe   flit.ProbeID
+	OK      bool
+	Circuit circuit.ID
+	// First is the output channel at the source node (the Circuit Cache
+	// Channel field) — valid when OK.
+	First Channel
+	// PathLen is the circuit length in hops — valid when OK.
+	PathLen int
+	// Cycles is the setup latency from launch to acknowledgment (or failure).
+	Cycles int64
+}
+
+// Circuit is the engine's registry entry for one physical circuit.
+type Circuit struct {
+	ID     circuit.ID
+	Src    topology.Node
+	Dst    topology.Node
+	Switch int
+	Path   []Channel
+	// releasePending dedups release requests: the first control flit
+	// initiates the release, later ones are discarded (Theorem 1).
+	releasePending bool
+	// tearingDown marks that a teardown flit is travelling the circuit.
+	tearingDown bool
+	// ackPending marks that the setup acknowledgment is still travelling; a
+	// teardown requested meanwhile is deferred until it lands (the flits
+	// would otherwise cross and corrupt channel state).
+	ackPending bool
+	// teardownDeferred queues a teardown request that arrived mid-ack.
+	teardownDeferred bool
+	deferredDone     func()
+}
+
+// Counters aggregates the engine's protocol statistics.
+type Counters struct {
+	ProbesLaunched    int64
+	ProbesSucceeded   int64
+	ProbesFailed      int64
+	Misroutes         int64
+	Backtracks        int64
+	ForceWaits        int64
+	ReleasesSent      int64
+	ReleasesDiscarded int64
+	Teardowns         int64
+	ControlHops       int64
+}
+
+// Params configures the PCS engine.
+type Params struct {
+	// NumSwitches is k, the number of wave-pipelined switches per router.
+	NumSwitches int
+	// MaxMisroutes is m in MB-m: the misrouting budget per probe.
+	MaxMisroutes int
+}
+
+// DefaultParams matches the experiment baseline: two wave switches and MB-2.
+func DefaultParams() Params { return Params{NumSwitches: 2, MaxMisroutes: 2} }
+
+func (p Params) validate() error {
+	if p.NumSwitches < 1 {
+		return fmt.Errorf("pcs: NumSwitches must be >= 1, got %d", p.NumSwitches)
+	}
+	if p.MaxMisroutes < 0 || p.MaxMisroutes > flit.MaxMisroutes {
+		return fmt.Errorf("pcs: MaxMisroutes must be in [0,%d], got %d", flit.MaxMisroutes, p.MaxMisroutes)
+	}
+	return nil
+}
+
+// probePhase is a probe's dynamic state.
+type probePhase uint8
+
+const (
+	probeAdvancing probePhase = iota
+	probeWaiting              // Force probe waiting on an established circuit
+)
+
+type pathHop struct {
+	ch       Channel
+	misroute bool
+}
+
+// probe is the in-flight representation of a Figure 4 routing probe plus the
+// search bookkeeping MB-m needs.
+type probe struct {
+	id     flit.ProbeID
+	src    topology.Node
+	dst    topology.Node
+	sw     int
+	force  bool
+	maxMis int
+
+	at        topology.Node
+	misroutes int
+	path      []pathHop
+	phase     probePhase
+
+	// Waiting bookkeeping (Force phase).
+	requestedRelease bool
+	waitingFor       Channel
+	waitingOwner     int64 // circuit ID expected to release waitingFor
+
+	visited  []topology.Node // nodes whose history store holds our entries
+	launched int64
+	done     func(SetupResult)
+}
+
+// ack travels back from the destination along the reserved path, flipping
+// each channel to Established (setting the Ack Returned bit).
+type ack struct {
+	circ  *Circuit
+	pos   int // index into circ.Path of the next channel to acknowledge (from the tail)
+	probe *probe
+}
+
+// teardown travels forward from the source, freeing channels behind it.
+type teardown struct {
+	circ *Circuit
+	next int // index into circ.Path
+	done func()
+}
+
+// release travels backward from the requesting node toward the circuit's
+// source, following the Reverse Channel Mappings.
+type release struct {
+	circID circuit.ID
+	at     Channel // channel whose reverse mapping is followed next
+}
+
+// Engine is the PCS routing control unit for the whole network.
+type Engine struct {
+	topo topology.Topology
+	prm  Params
+	host Host
+
+	// Figure 3 registers, dense per wave channel (index = link*k + switch).
+	status []Status
+	owner  []int64 // probe ID (while Reserved) or circuit ID (while Established)
+	ackRet []bool
+
+	// Direct/Reverse Channel Mappings: input channel key -> output channel
+	// key and inverse. Source and destination hops have no entry.
+	directMap  map[int32]int32
+	reverseMap map[int32]int32
+
+	// History Store: (node, probe) -> bitmask of searched outputs (bit =
+	// dim*2+dir). Distributed across routers in hardware; one map here.
+	history map[histKey]uint32
+
+	probes    []*probe
+	acks      []*ack
+	teardowns []*teardown
+	releases  []*release
+
+	circuits map[circuit.ID]*Circuit
+
+	nextProbe   flit.ProbeID
+	nextCircuit circuit.ID
+
+	Ctr Counters
+
+	// setupWaiting counts probes in existence (for oldest-age accounting by
+	// callers if needed).
+	now int64
+}
+
+type histKey struct {
+	node  topology.Node
+	probe flit.ProbeID
+}
+
+// New constructs the engine.
+func New(topo topology.Topology, prm Params, host Host) (*Engine, error) {
+	if err := prm.validate(); err != nil {
+		return nil, err
+	}
+	if host == nil {
+		return nil, fmt.Errorf("pcs: nil host")
+	}
+	n := topo.NumLinkSlots() * prm.NumSwitches
+	return &Engine{
+		topo:       topo,
+		prm:        prm,
+		host:       host,
+		status:     make([]Status, n),
+		owner:      make([]int64, n),
+		ackRet:     make([]bool, n),
+		directMap:  make(map[int32]int32),
+		reverseMap: make(map[int32]int32),
+		history:    make(map[histKey]uint32),
+		circuits:   make(map[circuit.ID]*Circuit),
+	}, nil
+}
+
+// key converts a Channel to its dense index.
+func (e *Engine) key(c Channel) int32 { return int32(int(c.Link)*e.prm.NumSwitches + c.Switch) }
+
+// chanOf inverts key.
+func (e *Engine) chanOf(k int32) Channel {
+	return Channel{Link: topology.LinkID(int(k) / e.prm.NumSwitches), Switch: int(k) % e.prm.NumSwitches}
+}
+
+// ChannelStatus exposes the Figure 3 Channel Status register.
+func (e *Engine) ChannelStatus(c Channel) Status { return e.status[e.key(c)] }
+
+// AckReturned exposes the Figure 3 Ack Returned bit.
+func (e *Engine) AckReturned(c Channel) bool { return e.ackRet[e.key(c)] }
+
+// DirectMapping exposes the Figure 3 Direct Channel Mappings register: the
+// output channel that input channel `in` maps to at its sink router.
+func (e *Engine) DirectMapping(in Channel) (Channel, bool) {
+	k, ok := e.directMap[e.key(in)]
+	if !ok {
+		return Channel{}, false
+	}
+	return e.chanOf(k), true
+}
+
+// ReverseMapping exposes the Figure 3 Reverse Channel Mappings register.
+func (e *Engine) ReverseMapping(out Channel) (Channel, bool) {
+	k, ok := e.reverseMap[e.key(out)]
+	if !ok {
+		return Channel{}, false
+	}
+	return e.chanOf(k), true
+}
+
+// History exposes the Figure 3 History Store: the mask of outputs already
+// searched by probe p at node n (bit dim*2+dir).
+func (e *Engine) History(n topology.Node, p flit.ProbeID) uint32 {
+	return e.history[histKey{node: n, probe: p}]
+}
+
+// WireFields renders an in-flight probe in its Figure 4 on-the-wire form:
+// Header and Force bits, the current misroute count, and the per-dimension
+// offsets from the destination as seen at the probe's current router. The
+// Backtrack bit reports false — in this engine a backtrack hop completes
+// within the cycle it is decided, so probes are only ever observable between
+// forward states. ok is false when no such probe is active.
+func (e *Engine) WireFields(id flit.ProbeID) (flit.ProbeFields, bool) {
+	for _, p := range e.probes {
+		if p.id != id {
+			continue
+		}
+		offs := make([]int, e.topo.Dims())
+		e.topo.Offsets(p.at, p.dst, offs)
+		return flit.ProbeFields{
+			Header:   true,
+			Force:    p.force,
+			Misroute: uint8(p.misroutes),
+			Offsets:  offs,
+		}, true
+	}
+	return flit.ProbeFields{}, false
+}
+
+// CircuitByID returns the registry entry.
+func (e *Engine) CircuitByID(id circuit.ID) (*Circuit, bool) {
+	c, ok := e.circuits[id]
+	return c, ok
+}
+
+// NumCircuits returns the count of circuits that are set up or being set up.
+func (e *Engine) NumCircuits() int { return len(e.circuits) }
+
+// ActiveProbes returns the number of probes in flight.
+func (e *Engine) ActiveProbes() int { return len(e.probes) }
+
+// InjectFault marks a wave channel faulty; established circuits through it
+// are unaffected (static faults present before circuit setup, as in the E8
+// experiments).
+func (e *Engine) InjectFault(c Channel) {
+	k := e.key(c)
+	if e.status[k] == Free {
+		e.status[k] = Faulty
+	}
+}
+
+// LaunchProbe starts one circuit-setup attempt from src to dst across wave
+// switch sw (0-based). done fires exactly once with the outcome.
+func (e *Engine) LaunchProbe(src, dst topology.Node, sw int, force bool, done func(SetupResult)) flit.ProbeID {
+	if src == dst {
+		panic("pcs: probe to self")
+	}
+	if sw < 0 || sw >= e.prm.NumSwitches {
+		panic(fmt.Sprintf("pcs: switch %d out of range", sw))
+	}
+	e.nextProbe++
+	p := &probe{
+		id:       e.nextProbe,
+		src:      src,
+		dst:      dst,
+		sw:       sw,
+		force:    force,
+		maxMis:   e.prm.MaxMisroutes,
+		at:       src,
+		launched: e.now,
+		done:     done,
+	}
+	e.probes = append(e.probes, p)
+	e.Ctr.ProbesLaunched++
+	return p.id
+}
+
+// Teardown starts releasing circuit id from its source. done fires when the
+// teardown flit has freed the last channel. It panics if the circuit does not
+// exist; callers own the in-use discipline.
+func (e *Engine) Teardown(id circuit.ID, done func()) {
+	c, ok := e.circuits[id]
+	if !ok {
+		panic(fmt.Sprintf("pcs: teardown of unknown circuit %d", id))
+	}
+	if c.tearingDown || c.teardownDeferred {
+		return // already in progress or queued
+	}
+	if c.ackPending {
+		// The setup acknowledgment is still in flight; starting the teardown
+		// now would cross it. Defer until the ack lands.
+		c.teardownDeferred = true
+		c.deferredDone = done
+		return
+	}
+	c.tearingDown = true
+	e.teardowns = append(e.teardowns, &teardown{circ: c, next: 0, done: done})
+	e.Ctr.Teardowns++
+}
+
+// Cycle advances every control flit and probe by one hop of work.
+func (e *Engine) Cycle(now int64) {
+	e.now = now
+	e.stepTeardowns()
+	e.stepReleases()
+	e.stepAcks()
+	e.stepProbes()
+}
+
+// ---------------------------------------------------------------------------
+// Teardown flits.
+
+func (e *Engine) stepTeardowns() {
+	// Snapshot-and-reset: done callbacks may start new teardowns (e.g. a
+	// CircuitFreed handler evicting another victim); those must not be lost
+	// to in-place compaction, nor run this same cycle.
+	work := e.teardowns
+	e.teardowns = nil
+	var kept []*teardown
+	for _, td := range work {
+		ch := td.circ.Path[td.next]
+		k := e.key(ch)
+		// Free this hop: status, ack bit, and both mapping registers.
+		e.status[k] = Free
+		e.ackRet[k] = false
+		e.owner[k] = 0
+		delete(e.reverseMap, k)
+		delete(e.directMap, k)
+		e.Ctr.ControlHops++
+		e.host.Progress()
+		td.next++
+		if td.next >= len(td.circ.Path) {
+			delete(e.circuits, td.circ.ID)
+			if td.done != nil {
+				td.done()
+			}
+			continue
+		}
+		kept = append(kept, td)
+	}
+	e.teardowns = append(kept, e.teardowns...)
+}
+
+// ---------------------------------------------------------------------------
+// Release request flits.
+
+// sendRelease creates a release flit for the circuit owning channel ch,
+// applying the dedup rule: only the first request per circuit travels.
+func (e *Engine) sendRelease(ch Channel) {
+	k := e.key(ch)
+	if e.status[k] != Established {
+		e.Ctr.ReleasesDiscarded++
+		return
+	}
+	id := circuit.ID(e.owner[k])
+	c, ok := e.circuits[id]
+	if !ok || c.tearingDown || c.releasePending {
+		e.Ctr.ReleasesDiscarded++
+		return
+	}
+	c.releasePending = true
+	e.releases = append(e.releases, &release{circID: id, at: ch})
+	e.Ctr.ReleasesSent++
+}
+
+func (e *Engine) stepReleases() {
+	work := e.releases
+	e.releases = nil
+	var kept []*release
+	for _, r := range work {
+		k := e.key(r.at)
+		// Stale? The circuit may have been torn down while we travelled
+		// ("the control flit is discarded at some intermediate node").
+		if e.status[k] != Established || circuit.ID(e.owner[k]) != r.circID {
+			e.Ctr.ReleasesDiscarded++
+			continue
+		}
+		prev, ok := e.reverseMap[k]
+		e.Ctr.ControlHops++
+		e.host.Progress()
+		if !ok {
+			// r.at is the circuit's first channel: we are at the source.
+			e.host.RequestRemoteRelease(r.circID)
+			continue
+		}
+		r.at = e.chanOf(prev)
+		kept = append(kept, r)
+	}
+	e.releases = append(kept, e.releases...)
+}
+
+// ---------------------------------------------------------------------------
+// Acknowledgment flits.
+
+func (e *Engine) stepAcks() {
+	work := e.acks
+	e.acks = nil
+	var kept []*ack
+	for _, a := range work {
+		ch := a.circ.Path[a.pos]
+		k := e.key(ch)
+		e.status[k] = Established
+		e.owner[k] = int64(a.circ.ID)
+		e.ackRet[k] = true
+		e.Ctr.ControlHops++
+		e.host.Progress()
+		a.pos--
+		if a.pos < 0 {
+			// Reached the source: setup complete.
+			p := a.probe
+			a.circ.ackPending = false
+			e.cleanupHistory(p)
+			e.Ctr.ProbesSucceeded++
+			if p.done != nil {
+				p.done(SetupResult{
+					Probe:   p.id,
+					OK:      true,
+					Circuit: a.circ.ID,
+					First:   a.circ.Path[0],
+					PathLen: len(a.circ.Path),
+					Cycles:  e.now - p.launched + 1,
+				})
+			}
+			if a.circ.teardownDeferred {
+				a.circ.teardownDeferred = false
+				done := a.circ.deferredDone
+				a.circ.deferredDone = nil
+				e.Teardown(a.circ.ID, done)
+			}
+			continue
+		}
+		kept = append(kept, a)
+	}
+	e.acks = append(kept, e.acks...)
+}
+
+// ---------------------------------------------------------------------------
+// Probes.
+
+func (e *Engine) stepProbes() {
+	// Snapshot-and-reset: a failure callback typically launches the next
+	// attempt (next wave switch) immediately; the fresh probe must survive
+	// this compaction and start on the next cycle.
+	work := e.probes
+	e.probes = nil
+	var kept []*probe
+	for _, p := range work {
+		if e.stepProbe(p) {
+			kept = append(kept, p)
+		}
+	}
+	e.probes = append(kept, e.probes...)
+}
+
+// stepProbe advances one probe by one cycle; it returns false when the probe
+// finished (success handoff to ack, or failure).
+func (e *Engine) stepProbe(p *probe) bool {
+	if p.at == p.dst {
+		// Reserved all the way: register the circuit and launch the ack.
+		e.nextCircuit++
+		path := make([]Channel, len(p.path))
+		for i, h := range p.path {
+			path[i] = h.ch
+		}
+		c := &Circuit{ID: e.nextCircuit, Src: p.src, Dst: p.dst, Switch: p.sw, Path: path, ackPending: true}
+		e.circuits[c.ID] = c
+		e.acks = append(e.acks, &ack{circ: c, pos: len(path) - 1, probe: p})
+		e.host.Progress()
+		return false
+	}
+
+	switch p.phase {
+	case probeAdvancing:
+		return e.probeAdvance(p)
+	case probeWaiting:
+		return e.probeWait(p)
+	default:
+		panic("pcs: unknown probe phase")
+	}
+}
+
+// outputs enumerates node n's existing wave-channel outputs on switch sw, in
+// deterministic order: profitable dimensions first (largest offset first),
+// then the rest in dimension order. Returns (channel, outputBit, profitable).
+type outOption struct {
+	ch         Channel
+	bit        uint32
+	profitable bool
+}
+
+func (e *Engine) outputs(p *probe, opts []outOption) []outOption {
+	dims := e.topo.Dims()
+	offs := make([]int, dims)
+	e.topo.Offsets(p.at, p.dst, offs)
+
+	type scored struct {
+		opt outOption
+		mag int
+	}
+	var prof []scored
+	var mis []outOption
+
+	// The channel the probe arrived through (to exclude immediate U-turns:
+	// going back is what Backtrack is for).
+	var backCh Channel
+	haveBack := false
+	if len(p.path) > 0 {
+		last := p.path[len(p.path)-1].ch
+		if l, ok := e.topo.LinkByID(last.Link); ok {
+			if rev, ok2 := e.topo.OutLink(l.To, l.Dim, l.Dir.Opposite()); ok2 {
+				backCh = Channel{Link: rev, Switch: p.sw}
+				haveBack = true
+			}
+		}
+	}
+
+	for dim := 0; dim < dims; dim++ {
+		for _, dir := range []topology.Dir{topology.Plus, topology.Minus} {
+			link, ok := e.topo.OutLink(p.at, dim, dir)
+			if !ok {
+				continue
+			}
+			ch := Channel{Link: link, Switch: p.sw}
+			if haveBack && ch == backCh {
+				continue
+			}
+			bit := uint32(1) << uint(dim*2+int(dir))
+			profitable := (offs[dim] > 0 && dir == topology.Plus) || (offs[dim] < 0 && dir == topology.Minus)
+			o := outOption{ch: ch, bit: bit, profitable: profitable}
+			if profitable {
+				mag := offs[dim]
+				if mag < 0 {
+					mag = -mag
+				}
+				prof = append(prof, scored{opt: o, mag: mag})
+			} else {
+				mis = append(mis, o)
+			}
+		}
+	}
+	// Largest remaining offset first among profitable outputs.
+	for i := 1; i < len(prof); i++ {
+		for j := i; j > 0 && prof[j].mag > prof[j-1].mag; j-- {
+			prof[j], prof[j-1] = prof[j-1], prof[j]
+		}
+	}
+	for _, s := range prof {
+		opts = append(opts, s.opt)
+	}
+	return append(opts, mis...)
+}
+
+// takeChannel reserves ch for p and moves the probe across it.
+func (e *Engine) takeChannel(p *probe, o outOption) {
+	k := e.key(o.ch)
+	e.status[k] = Reserved
+	e.owner[k] = int64(p.id)
+	// Record the mapping registers at the current node: the previous hop's
+	// channel maps to this one.
+	if len(p.path) > 0 {
+		in := e.key(p.path[len(p.path)-1].ch)
+		e.directMap[in] = k
+		e.reverseMap[k] = in
+	}
+	e.markHistory(p, o.bit)
+	p.path = append(p.path, pathHop{ch: o.ch, misroute: !o.profitable})
+	if !o.profitable {
+		p.misroutes++
+		e.Ctr.Misroutes++
+	}
+	l, _ := e.topo.LinkByID(o.ch.Link)
+	p.at = l.To
+	p.phase = probeAdvancing
+	p.requestedRelease = false
+	e.Ctr.ControlHops++
+	e.host.Progress()
+}
+
+func (e *Engine) markHistory(p *probe, bit uint32) {
+	k := histKey{node: p.at, probe: p.id}
+	if _, seen := e.history[k]; !seen {
+		p.visited = append(p.visited, p.at)
+	}
+	e.history[k] |= bit
+}
+
+func (e *Engine) cleanupHistory(p *probe) {
+	for _, n := range p.visited {
+		delete(e.history, histKey{node: n, probe: p.id})
+	}
+	p.visited = nil
+}
+
+// probeAdvance implements one MB-m step: take a free valid channel if any,
+// otherwise misroute within budget, otherwise Force-wait or backtrack.
+func (e *Engine) probeAdvance(p *probe) bool {
+	opts := e.outputs(p, nil)
+	hist := e.history[histKey{node: p.at, probe: p.id}]
+
+	// First choice: a free, unsearched, profitable channel; then free
+	// unsearched misroutes within budget.
+	for _, o := range opts {
+		if hist&o.bit != 0 {
+			continue
+		}
+		if !o.profitable && p.misroutes >= p.maxMis {
+			continue
+		}
+		if e.status[e.key(o.ch)] == Free {
+			e.takeChannel(p, o)
+			return true
+		}
+	}
+
+	if p.force {
+		// CLRP phase two: the probe does not backtrack while any requested
+		// channel belongs to an *established* circuit; it waits for (and
+		// requests) its release. Only when every requested channel belongs to
+		// circuits still being established does it backtrack.
+		if e.forceSelectVictim(p, opts, hist) {
+			p.phase = probeWaiting
+			e.Ctr.ForceWaits++
+			return true
+		}
+	}
+	return e.probeBacktrack(p)
+}
+
+// requestedChannels filters the probe's current candidate outputs the Force
+// logic considers "requested": existing, unsearched, within misroute budget,
+// not faulty.
+func (e *Engine) requestedChannels(p *probe, opts []outOption, hist uint32) []outOption {
+	var req []outOption
+	for _, o := range opts {
+		if hist&o.bit != 0 {
+			continue
+		}
+		if !o.profitable && p.misroutes >= p.maxMis {
+			continue
+		}
+		if e.status[e.key(o.ch)] == Faulty {
+			continue
+		}
+		req = append(req, o)
+	}
+	return req
+}
+
+// forceSelectVictim picks a victim circuit for a blocked Force probe. It
+// returns true when the probe should wait (a release is underway), false when
+// it must backtrack (all requested channels belong to circuits being
+// established, or nothing is requestable).
+func (e *Engine) forceSelectVictim(p *probe, opts []outOption, hist uint32) bool {
+	req := e.requestedChannels(p, opts, hist)
+	if len(req) == 0 {
+		return false
+	}
+	anyEstablished := false
+	for _, o := range req {
+		if e.status[e.key(o.ch)] == Established {
+			anyEstablished = true
+			break
+		}
+	}
+	if !anyEstablished {
+		// "In the very unlikely case that all the outgoing channels of a node
+		// belong to circuits currently being established, the probe
+		// backtracks even if the Force bit is set."
+		return false
+	}
+	if p.requestedRelease {
+		// A release is already pending; keep waiting. probeWait revalidates.
+		return true
+	}
+	wanted := func(c Channel) bool {
+		for _, o := range req {
+			if e.status[e.key(o.ch)] == Established && o.ch == c {
+				return true
+			}
+		}
+		return false
+	}
+	// Preference 1: a circuit starting at the current node (its own cache).
+	if ch, ok := e.host.RequestLocalRelease(p.at, wanted); ok {
+		p.requestedRelease = true
+		p.waitingFor = ch
+		p.waitingOwner = e.owner[e.key(ch)]
+		return true
+	}
+	// Preference 2: a circuit crossing this node that already returned its
+	// acknowledgment — send a release flit toward its source.
+	for _, o := range req {
+		if e.status[e.key(o.ch)] == Established {
+			e.sendRelease(o.ch)
+			p.requestedRelease = true
+			p.waitingFor = o.ch
+			p.waitingOwner = e.owner[e.key(o.ch)]
+			return true
+		}
+	}
+	return false
+}
+
+// probeWait re-evaluates a waiting Force probe each cycle.
+func (e *Engine) probeWait(p *probe) bool {
+	opts := e.outputs(p, nil)
+	hist := e.history[histKey{node: p.at, probe: p.id}]
+
+	// Grab any requested channel that has come free.
+	req := e.requestedChannels(p, opts, hist)
+	for _, o := range req {
+		if e.status[e.key(o.ch)] == Free {
+			e.takeChannel(p, o)
+			return true
+		}
+	}
+	// Still blocked. If our awaited channel was stolen, or its circuit
+	// vanished (even if a different circuit now holds the same channel),
+	// re-select a victim (or backtrack if only in-setup circuits remain).
+	wk := e.key(p.waitingFor)
+	if e.status[wk] != Established || e.owner[wk] != p.waitingOwner {
+		p.requestedRelease = false
+	}
+	if e.forceSelectVictim(p, opts, hist) {
+		return true
+	}
+	p.phase = probeAdvancing
+	return e.probeBacktrack(p)
+}
+
+// probeBacktrack undoes the last hop, or fails the attempt at the source.
+func (e *Engine) probeBacktrack(p *probe) bool {
+	if len(p.path) == 0 {
+		// Exhausted the search from the source: the attempt fails.
+		e.cleanupHistory(p)
+		e.Ctr.ProbesFailed++
+		if p.done != nil {
+			p.done(SetupResult{Probe: p.id, OK: false, Cycles: e.now - p.launched + 1})
+		}
+		return false
+	}
+	hop := p.path[len(p.path)-1]
+	p.path = p.path[:len(p.path)-1]
+	k := e.key(hop.ch)
+	e.status[k] = Free
+	e.owner[k] = 0
+	if len(p.path) > 0 {
+		in := e.key(p.path[len(p.path)-1].ch)
+		delete(e.directMap, in)
+	}
+	delete(e.reverseMap, k)
+	if hop.misroute {
+		p.misroutes--
+	}
+	l, _ := e.topo.LinkByID(hop.ch.Link)
+	p.at = l.From
+	p.requestedRelease = false
+	e.Ctr.Backtracks++
+	e.Ctr.ControlHops++
+	e.host.Progress()
+	return true
+}

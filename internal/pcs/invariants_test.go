@@ -1,0 +1,293 @@
+package pcs
+
+// Register-consistency invariants and additional race coverage for the PCS
+// control unit. checkRegisters is the executable version of what Figure 3's
+// registers must always satisfy: every established circuit is a chain of
+// Established channels linked by the Direct/Reverse mappings with the Ack
+// Returned bit set, and no channel outside some circuit or probe path is
+// anything but Free or Faulty.
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/flit"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// flitDecode aliases flit.Decode for readability in the wire tests.
+func flitDecode(buf []byte, dims int) (flit.ProbeFields, error) { return flit.Decode(buf, dims) }
+
+// checkRegisters validates global register consistency. Probes may hold
+// Reserved channels; established/tearing circuits own Established ones.
+func checkRegisters(t *testing.T, e *Engine, topo topology.Topology) {
+	t.Helper()
+	owned := map[int32]int64{} // channel key -> owner circuit
+	for id, c := range e.circuits {
+		if c.tearingDown {
+			continue // partially freed by the travelling teardown flit
+		}
+		established := true
+		for _, ch := range c.Path {
+			if e.status[e.key(ch)] != Established {
+				established = false
+				break
+			}
+		}
+		if !established {
+			continue // ack still travelling
+		}
+		for i, ch := range c.Path {
+			k := e.key(ch)
+			owned[k] = int64(id)
+			if !e.ackRet[k] {
+				t.Fatalf("circuit %d hop %d missing Ack Returned", id, i)
+			}
+			if circuit.ID(e.owner[k]) != id {
+				t.Fatalf("circuit %d hop %d owned by %d", id, i, e.owner[k])
+			}
+			if i+1 < len(c.Path) {
+				next, ok := e.DirectMapping(ch)
+				if !ok || next != c.Path[i+1] {
+					t.Fatalf("circuit %d direct mapping broken at hop %d", id, i)
+				}
+				prev, ok := e.ReverseMapping(c.Path[i+1])
+				if !ok || prev != ch {
+					t.Fatalf("circuit %d reverse mapping broken at hop %d", id, i)
+				}
+			}
+		}
+		// Path endpoints: verify the chain terminates.
+		if _, ok := e.ReverseMapping(c.Path[0]); ok {
+			t.Fatalf("circuit %d first hop has reverse mapping", id)
+		}
+		if _, ok := e.DirectMapping(c.Path[len(c.Path)-1]); ok {
+			t.Fatalf("circuit %d last hop has direct mapping", id)
+		}
+	}
+	// Reserved channels must belong to an active probe's path.
+	probeHeld := map[int32]bool{}
+	for _, p := range e.probes {
+		for _, h := range p.path {
+			probeHeld[e.key(h.ch)] = true
+		}
+	}
+	for _, a := range e.acks {
+		for _, ch := range a.circ.Path {
+			probeHeld[e.key(ch)] = true // ack mid-flight: mixed reserved/established
+		}
+	}
+	for k, s := range e.status {
+		switch s {
+		case Reserved:
+			if !probeHeld[int32(k)] {
+				t.Fatalf("channel %d Reserved but held by no probe/ack", k)
+			}
+		case Established:
+			if _, ok := owned[int32(k)]; !ok && !probeHeld[int32(k)] {
+				// May belong to a tearing-down or mid-ack circuit.
+				id := circuit.ID(e.owner[k])
+				if _, live := e.circuits[id]; !live {
+					t.Fatalf("channel %d Established but its circuit %d is gone", k, id)
+				}
+			}
+		}
+	}
+}
+
+// TestRegisterConsistencyThroughChurn validates Figure 3 register invariants
+// at every 50th cycle of a probe/teardown churn workload.
+func TestRegisterConsistencyThroughChurn(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	host := &fakeHost{}
+	e := newEngine(t, topo, Params{NumSwitches: 2, MaxMisroutes: 2}, host)
+	host.remote = func(id circuit.ID) {
+		if _, ok := e.CircuitByID(id); ok {
+			e.Teardown(id, nil)
+		}
+	}
+	rng := sim.NewRNG(31)
+	live := map[circuit.ID]bool{}
+	done := func(r SetupResult) {
+		if r.OK {
+			live[r.Circuit] = true
+		}
+	}
+	for cyc := int64(0); cyc < 4000; cyc++ {
+		if cyc%7 == 0 {
+			src := topology.Node(rng.Intn(16))
+			dst := topology.Node(rng.Intn(16))
+			if src != dst {
+				e.LaunchProbe(src, dst, rng.Intn(2), rng.Intn(2) == 0, done)
+			}
+		}
+		if cyc%13 == 0 {
+			for id := range live {
+				if c, ok := e.CircuitByID(id); ok && !c.tearingDown {
+					e.Teardown(id, nil)
+				}
+				delete(live, id)
+				break
+			}
+		}
+		e.Cycle(cyc)
+		if cyc%50 == 0 {
+			checkRegisters(t, e, topo)
+		}
+	}
+}
+
+// TestProbePathWithinMisrouteBudget: an established circuit's length never
+// exceeds the minimal distance plus twice the misroute budget (each misroute
+// adds one hop and one compensating hop).
+func TestProbePathWithinMisrouteBudget(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	for _, m := range []int{0, 1, 2, 4} {
+		e := newEngine(t, topo, Params{NumSwitches: 1, MaxMisroutes: m}, &fakeHost{})
+		rng := sim.NewRNG(uint64(m) + 7)
+		type attempt struct {
+			src, dst topology.Node
+			res      *SetupResult
+		}
+		var atts []*attempt
+		for i := 0; i < 40; i++ {
+			a := &attempt{src: topology.Node(rng.Intn(16)), dst: topology.Node(rng.Intn(16))}
+			if a.src == a.dst {
+				continue
+			}
+			atts = append(atts, a)
+			e.LaunchProbe(a.src, a.dst, 0, false, func(r SetupResult) { a.res = &r })
+		}
+		for cyc := int64(0); cyc < 20_000; cyc++ {
+			e.Cycle(cyc)
+		}
+		for _, a := range atts {
+			if a.res == nil {
+				t.Fatalf("m=%d: attempt %d->%d never finished", m, a.src, a.dst)
+			}
+			if !a.res.OK {
+				continue
+			}
+			maxLen := topo.Distance(a.src, a.dst) + 2*m
+			if a.res.PathLen > maxLen {
+				t.Fatalf("m=%d: circuit %d->%d has %d hops > distance+2m = %d",
+					m, a.src, a.dst, a.res.PathLen, maxLen)
+			}
+		}
+	}
+}
+
+// TestTeardownDuringAck: tearing down immediately after the probe reaches the
+// destination (while the ack is still travelling) must not corrupt state.
+// The Teardown API requires an established registry entry, which exists as
+// soon as the probe arrives; the teardown flit then chases the ack.
+func TestTeardownDuringAck(t *testing.T) {
+	topo := topology.MustCube([]int{8, 2}, false)
+	e := newEngine(t, topo, Params{NumSwitches: 1, MaxMisroutes: 0}, &fakeHost{})
+	var res *SetupResult
+	e.LaunchProbe(0, 7, 0, false, func(r SetupResult) { res = &r })
+	// Step until the circuit registers (probe at destination), then tear
+	// down while the ack is mid-flight.
+	var id circuit.ID
+	for cyc := int64(0); cyc < 100; cyc++ {
+		e.Cycle(cyc)
+		if e.NumCircuits() == 1 && id == 0 {
+			for cid := range e.circuits {
+				id = cid
+			}
+			e.Teardown(id, nil)
+		}
+		if res != nil {
+			break
+		}
+	}
+	for cyc := int64(100); cyc < 200; cyc++ {
+		e.Cycle(cyc)
+	}
+	if e.NumCircuits() != 0 {
+		t.Fatal("circuit survived teardown-during-ack")
+	}
+	for k, s := range e.status {
+		if s != Free {
+			t.Fatalf("channel %d stuck in %v", k, s)
+		}
+	}
+	if len(e.directMap) != 0 || len(e.reverseMap) != 0 {
+		t.Fatal("mappings leaked")
+	}
+}
+
+// TestLaunchProbeInvalidSwitchPanics guards the API contract.
+func TestLaunchProbeInvalidSwitchPanics(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, false)
+	e := newEngine(t, topo, Params{NumSwitches: 2, MaxMisroutes: 1}, &fakeHost{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range switch")
+		}
+	}()
+	e.LaunchProbe(0, 5, 2, false, nil)
+}
+
+// TestControlHopsAccounting: every control-flit movement is counted, so the
+// counter grows monotonically and is nonzero after any activity.
+func TestControlHopsAccounting(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, false)
+	e := newEngine(t, topo, Params{NumSwitches: 1, MaxMisroutes: 1}, &fakeHost{})
+	var res *SetupResult
+	e.LaunchProbe(0, 15, 0, false, func(r SetupResult) { res = &r })
+	runUntil(t, e, 100, func() bool { return res != nil })
+	d := int64(topo.Distance(0, 15))
+	// Probe out (d hops) + ack back (d hops) minimum.
+	if e.Ctr.ControlHops < 2*d {
+		t.Fatalf("control hops = %d, want >= %d", e.Ctr.ControlHops, 2*d)
+	}
+}
+
+// TestWireFieldsRoundTrip links the engine's live probe state to the Figure 4
+// wire format: at every step of a probe's journey, its fields encode into a
+// control flit and decode back unchanged, and the offsets always reflect the
+// remaining minimal path.
+func TestWireFieldsRoundTrip(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	e := newEngine(t, topo, Params{NumSwitches: 1, MaxMisroutes: 2}, &fakeHost{})
+	var res *SetupResult
+	id := e.LaunchProbe(0, 10, 0, true, func(r SetupResult) { res = &r })
+	buf := make([]byte, 16)
+	steps := 0
+	for cyc := int64(0); res == nil && cyc < 200; cyc++ {
+		if pf, ok := e.WireFields(id); ok {
+			steps++
+			if !pf.Header || !pf.Force {
+				t.Fatalf("flag bits wrong: %+v", pf)
+			}
+			n, err := pf.Encode(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := flitDecode(buf[:n], topo.Dims())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for d := range pf.Offsets {
+				if got.Offsets[d] != pf.Offsets[d] {
+					t.Fatalf("offset %d round trip: %d vs %d", d, got.Offsets[d], pf.Offsets[d])
+				}
+			}
+			if got.Misroute != pf.Misroute {
+				t.Fatalf("misroute round trip: %d vs %d", got.Misroute, pf.Misroute)
+			}
+		}
+		e.Cycle(cyc)
+	}
+	if res == nil || !res.OK {
+		t.Fatalf("probe did not finish: %+v", res)
+	}
+	if steps == 0 {
+		t.Fatal("probe never observed in flight")
+	}
+	if _, ok := e.WireFields(id); ok {
+		t.Fatal("finished probe still observable")
+	}
+}

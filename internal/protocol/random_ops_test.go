@@ -1,0 +1,140 @@
+package protocol
+
+// Model-based random-operations testing: arbitrary interleavings of every
+// protocol API call (sends of every size, CARP opens/closes including
+// invalid ones, bursts, idle gaps) must always terminate with full delivery
+// and coherent state. Seeds are fixed, so failures replay exactly.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/pcs"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// randomOps drives `ops` random operations against one manager and returns
+// the number of messages sent.
+func randomOps(t *testing.T, h *harness, topo topology.Topology, kind Kind, seed uint64, ops int) int {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	now := int64(0)
+	sent := 0
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // short send
+			h.m.Send(topology.Node(rng.Intn(topo.Nodes())), topology.Node(rng.Intn(topo.Nodes())),
+				1+rng.Intn(8), now, rng.Intn(2) == 0)
+			sent++
+		case 4, 5: // long send
+			h.m.Send(topology.Node(rng.Intn(topo.Nodes())), topology.Node(rng.Intn(topo.Nodes())),
+				64+rng.Intn(192), now, true)
+			sent++
+		case 6: // CARP open (no-op panic-free on CARP only)
+			if kind == CARP {
+				h.m.OpenCircuit(topology.Node(rng.Intn(topo.Nodes())), topology.Node(rng.Intn(topo.Nodes())))
+			}
+		case 7: // CARP close, possibly of something never opened
+			if kind == CARP {
+				h.m.CloseCircuit(topology.Node(rng.Intn(topo.Nodes())), topology.Node(rng.Intn(topo.Nodes())))
+			}
+		case 8: // burst
+			src := topology.Node(rng.Intn(topo.Nodes()))
+			dst := topology.Node(rng.Intn(topo.Nodes()))
+			for b := 0; b < 5; b++ {
+				h.m.Send(src, dst, 1+rng.Intn(32), now, true)
+				sent++
+			}
+		case 9: // idle gap
+			for g := 0; g < rng.Intn(50); g++ {
+				h.m.Cycle(now)
+				now++
+			}
+		}
+		h.m.Cycle(now)
+		now++
+		if err := h.wd.Check(now, h.m.OldestAge(now), h.m.InFlight()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.drain(t, &now, 2_000_000)
+	// Settle trailing acks/teardowns, then check state.
+	for i := 0; i < 300; i++ {
+		h.m.Cycle(now)
+		now++
+	}
+	return sent
+}
+
+func TestRandomOperationInterleavings(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	for _, kind := range []Kind{CLRP, CARP, PCS} {
+		for _, seed := range []uint64{1, 2, 3} {
+			kind, seed := kind, seed
+			t.Run(fmt.Sprintf("%s-seed%d", kind, seed), func(t *testing.T) {
+				t.Parallel()
+				prm := core.DefaultParams()
+				prm.CacheCapacity = 2 // maximal churn
+				h := newHarness(t, topo, prm, kind, Options{})
+				sent := randomOps(t, h, topo, kind, seed, 300)
+				if len(h.delivered) != sent {
+					t.Fatalf("delivered %d of %d", len(h.delivered), sent)
+				}
+				// State coherence after the storm.
+				for n := 0; n < topo.Nodes(); n++ {
+					for _, e := range h.m.Fab.Cache(topology.Node(n)).Entries() {
+						if e.State == circuit.Established && e.InUse {
+							t.Fatalf("node %d: idle network with in-use circuit to %d", n, e.Dest)
+						}
+					}
+				}
+				if h.m.Fab.PCS.ActiveProbes() != 0 {
+					t.Fatal("probes leaked")
+				}
+				checkCrossLayer(t, h, topo)
+			})
+		}
+	}
+}
+
+// TestRandomOpsWithFaultsAndOptions mixes static faults and CLRP option
+// variants into the random-operation storm.
+func TestRandomOpsWithFaultsAndOptions(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	variants := []Options{
+		{},
+		{ForceFirst: true},
+		{SinglePhase2Switch: true},
+		{MinCircuitFlits: 16},
+		{NoSwitchSpread: true},
+	}
+	for vi, opt := range variants {
+		vi, opt := vi, opt
+		t.Run(fmt.Sprintf("variant%d", vi), func(t *testing.T) {
+			t.Parallel()
+			prm := core.DefaultParams()
+			prm.CacheCapacity = 3
+			prm.InitialBufFlits = 32
+			prm.ReallocPenalty = 25
+			h := newHarness(t, topo, prm, CLRP, opt)
+			// Fault a slice of wave channels before traffic.
+			for id := 0; id < topo.NumLinkSlots(); id += 5 {
+				if _, ok := topo.LinkByID(topology.LinkID(id)); ok {
+					h.m.Fab.PCS.InjectFault(pcsChan(topology.LinkID(id), vi%prm.NumSwitches))
+				}
+			}
+			sent := randomOps(t, h, topo, CLRP, uint64(100+vi), 250)
+			if len(h.delivered) != sent {
+				t.Fatalf("delivered %d of %d", len(h.delivered), sent)
+			}
+		})
+	}
+}
+
+// pcsChan builds a pcs.Channel without importing pcs at every call site.
+func pcsChan(link topology.LinkID, sw int) pcs.Channel {
+	return pcs.Channel{Link: link, Switch: sw}
+}

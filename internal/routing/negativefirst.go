@@ -1,0 +1,74 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// NegativeFirst is the negative-first turn-model algorithm on meshes of any
+// dimensionality: a message first makes all of its hops in negative
+// directions (fully adaptively among them), then all of its positive hops
+// (again fully adaptively). Turns from a positive to a negative direction
+// are prohibited, which breaks every dependency cycle — deadlock-free with
+// any number of virtual channels, like WestFirst but adaptive in both
+// phases and not limited to two dimensions.
+type NegativeFirst struct {
+	topo   topology.Topology
+	numVCs int
+}
+
+// NewNegativeFirst constructs negative-first routing for a mesh.
+func NewNegativeFirst(topo topology.Topology, numVCs int) (*NegativeFirst, error) {
+	if numVCs < 1 {
+		return nil, fmt.Errorf("routing: negative-first needs at least 1 VC, got %d", numVCs)
+	}
+	if topo.Wrap() {
+		return nil, fmt.Errorf("routing: negative-first requires a mesh (turn model does not cover wraparound)")
+	}
+	return &NegativeFirst{topo: topo, numVCs: numVCs}, nil
+}
+
+// Name implements Func.
+func (r *NegativeFirst) Name() string { return "negativefirst" }
+
+// NumVCs implements Func.
+func (r *NegativeFirst) NumVCs() int { return r.numVCs }
+
+// Escape implements Func: the whole graph is acyclic (turn model).
+func (r *NegativeFirst) Escape() Func { return r }
+
+// Candidates implements Func.
+func (r *NegativeFirst) Candidates(here, dst topology.Node, _ topology.LinkID, _ int, out []Candidate) []Candidate {
+	offs := make([]int, r.topo.Dims())
+	r.topo.Offsets(here, dst, offs)
+
+	appendDir := func(dim int, dir topology.Dir) {
+		link, ok := r.topo.OutLink(here, dim, dir)
+		if !ok {
+			panic(fmt.Sprintf("routing: negative-first missing link at node %d dim %d", here, dim))
+		}
+		for vc := 0; vc < r.numVCs; vc++ {
+			out = append(out, Candidate{Link: link, VC: vc})
+		}
+	}
+
+	// Phase one: any remaining negative hop, adaptively.
+	negAny := false
+	for d, o := range offs {
+		if o < 0 {
+			appendDir(d, topology.Minus)
+			negAny = true
+		}
+	}
+	if negAny {
+		return out
+	}
+	// Phase two: positive hops, adaptively.
+	for d, o := range offs {
+		if o > 0 {
+			appendDir(d, topology.Plus)
+		}
+	}
+	return out
+}

@@ -1,0 +1,390 @@
+// Package routing implements the wormhole routing functions the wave router
+// can be configured with (paper section 2: "Messages are routed using either
+// a deterministic or an adaptive routing algorithm") and the static
+// channel-dependency-graph checker used to verify their deadlock freedom
+// (Dally & Seitz [5]; Duato [8, 9]).
+//
+// Five functions are provided:
+//
+//   - "dor": dimension-order routing — deterministic, acyclic CDG on meshes;
+//     on tori it uses the two-class dateline virtual channel scheme of
+//     Dally & Seitz (needs >= 2 VCs).
+//   - "duato": fully adaptive routing — minimal adaptive channels plus an
+//     escape subfunction with an acyclic extended dependency graph (VC 0
+//     dimension-order on meshes, VCs 0/1 dateline dimension-order on tori).
+//     Every hop (adaptive or escape) is minimal, so distance to the
+//     destination strictly decreases and routing loops are impossible.
+//   - "westfirst": the Glass & Ni turn model for 2-D meshes — partially
+//     adaptive, deadlock-free with a single VC.
+//   - "negativefirst": the n-dimensional negative-first turn model —
+//     adaptive in both phases, single-VC deadlock-free on any mesh.
+//   - "dor-nodateline": deliberately UNSAFE torus DOR (cyclic CDG), usable
+//     only with the wormhole engine's abort-and-retry recovery (E16).
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Candidate is one (output link, virtual channel) pair a header flit may be
+// forwarded on, in preference order.
+type Candidate struct {
+	Link topology.LinkID
+	VC   int
+}
+
+// Func is a wormhole routing function. Implementations must be pure: the
+// same arguments always yield the same candidates, which the CDG checker
+// relies on to enumerate every possible dependency.
+type Func interface {
+	// Name identifies the function in logs and stats.
+	Name() string
+	// NumVCs returns the number of virtual channels per physical channel the
+	// function requires/uses.
+	NumVCs() int
+	// Candidates appends the (link, VC) pairs usable by a header at node
+	// `here` destined to `dst`, having arrived on (inLink, inVC); inLink is
+	// topology.Invalid for freshly injected messages. here != dst. The slice
+	// is returned in preference order (most preferred first).
+	Candidates(here, dst topology.Node, inLink topology.LinkID, inVC int, out []Candidate) []Candidate
+	// Escape returns the restriction of the function to its escape channels:
+	// the subfunction whose channel dependency graph must be acyclic for the
+	// whole function to be deadlock-free (Duato's condition). Deterministic
+	// functions return themselves.
+	Escape() Func
+}
+
+// New builds the routing function named by name ("dor", "duato" or
+// "westfirst") for the given topology with numVCs virtual channels.
+func New(name string, topo topology.Topology, numVCs int) (Func, error) {
+	switch name {
+	case "dor":
+		return NewDOR(topo, numVCs)
+	case "duato":
+		return NewDuato(topo, numVCs)
+	case "westfirst":
+		return NewWestFirst(topo, numVCs)
+	case "negativefirst":
+		return NewNegativeFirst(topo, numVCs)
+	case "dor-nodateline":
+		return NewDORNoDateline(topo, numVCs), nil
+	default:
+		return nil, fmt.Errorf("routing: unknown function %q (want dor, duato, westfirst, negativefirst or dor-nodateline)", name)
+	}
+}
+
+// DORNoDateline is dimension-order routing WITHOUT the dateline virtual
+// channel classes: on tori its channel dependency graph is cyclic and the
+// network CAN deadlock. It exists for the deadlock-RECOVERY experiments
+// (E16), where the wormhole engine's abort-and-retry mechanism resolves the
+// deadlocks the routing function permits, and for proving the CDG checker
+// non-vacuous. Never use it without recovery enabled.
+type DORNoDateline struct {
+	topo   topology.Topology
+	numVCs int
+}
+
+// NewDORNoDateline constructs the unrestricted function.
+func NewDORNoDateline(topo topology.Topology, numVCs int) *DORNoDateline {
+	return &DORNoDateline{topo: topo, numVCs: numVCs}
+}
+
+// Name implements Func.
+func (r *DORNoDateline) Name() string { return "dor-nodateline" }
+
+// NumVCs implements Func.
+func (r *DORNoDateline) NumVCs() int { return r.numVCs }
+
+// Escape implements Func.
+func (r *DORNoDateline) Escape() Func { return r }
+
+// Candidates implements Func.
+func (r *DORNoDateline) Candidates(here, dst topology.Node, _ topology.LinkID, _ int, out []Candidate) []Candidate {
+	offs := make([]int, r.topo.Dims())
+	r.topo.Offsets(here, dst, offs)
+	for d, o := range offs {
+		if o == 0 {
+			continue
+		}
+		dir := topology.Plus
+		if o < 0 {
+			dir = topology.Minus
+		}
+		link, ok := r.topo.OutLink(here, d, dir)
+		if !ok {
+			panic(fmt.Sprintf("routing: dor-nodateline missing link at node %d dim %d", here, d))
+		}
+		for vc := 0; vc < r.numVCs; vc++ {
+			out = append(out, Candidate{Link: link, VC: vc})
+		}
+		return out
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Dimension-order routing.
+
+// DOR is deterministic dimension-order (e-cube) routing: correct dimension 0
+// fully, then dimension 1, and so on. On meshes any virtual channel may be
+// used (the link-level order is already acyclic). On tori the dateline scheme
+// splits VCs into two classes per direction ring; see datelineClass for the
+// memoryless class rule.
+type DOR struct {
+	topo   topology.Topology
+	numVCs int
+}
+
+// NewDOR constructs dimension-order routing. Tori require numVCs >= 2.
+func NewDOR(topo topology.Topology, numVCs int) (*DOR, error) {
+	if numVCs < 1 {
+		return nil, fmt.Errorf("routing: dor needs at least 1 VC, got %d", numVCs)
+	}
+	if topo.Wrap() && numVCs < 2 {
+		return nil, fmt.Errorf("routing: dor on a torus needs >= 2 VCs for the dateline scheme, got %d", numVCs)
+	}
+	return &DOR{topo: topo, numVCs: numVCs}, nil
+}
+
+// Name implements Func.
+func (r *DOR) Name() string { return "dor" }
+
+// NumVCs implements Func.
+func (r *DOR) NumVCs() int { return r.numVCs }
+
+// Escape implements Func: a deterministic function is its own escape.
+func (r *DOR) Escape() Func { return r }
+
+// Candidates implements Func.
+func (r *DOR) Candidates(here, dst topology.Node, inLink topology.LinkID, inVC int, out []Candidate) []Candidate {
+	offs := make([]int, r.topo.Dims())
+	r.topo.Offsets(here, dst, offs)
+	dim := -1
+	for d, o := range offs {
+		if o != 0 {
+			dim = d
+			break
+		}
+	}
+	if dim < 0 {
+		return out // at destination; engine delivers
+	}
+	dir := topology.Plus
+	if offs[dim] < 0 {
+		dir = topology.Minus
+	}
+	link, ok := r.topo.OutLink(here, dim, dir)
+	if !ok {
+		// Minimal offsets on a mesh never point off the edge; this would be a
+		// topology bug, surfaced loudly.
+		panic(fmt.Sprintf("routing: dor has no link from node %d dim %d dir %v", here, dim, dir))
+	}
+	if !r.topo.Wrap() {
+		for vc := 0; vc < r.numVCs; vc++ {
+			out = append(out, Candidate{Link: link, VC: vc})
+		}
+		return out
+	}
+	class := datelineClass(r.topo, here, dim, dir, offs[dim])
+	for vc := class; vc < r.numVCs; vc += 2 {
+		out = append(out, Candidate{Link: link, VC: vc})
+	}
+	return out
+}
+
+// datelineClass computes the Dally-Seitz virtual channel class for the next
+// hop of a torus-minimal path, as a pure function of position and remaining
+// offset (memoryless, so adaptive detours cannot corrupt it):
+//
+//	class 0 — the wraparound hop of this (dimension, direction) ring still
+//	          lies strictly ahead on the remaining path;
+//	class 1 — this hop is the wraparound, the wraparound is behind, or the
+//	          path never crosses it.
+//
+// With every hop minimal, a ring's wraparound is crossed at most once per
+// message, so class-0 dependencies form the acyclic pre-dateline path, class-1
+// dependencies the acyclic wrap-then-prefix path, and dependencies only flow
+// class 0 -> class 1. The channel dependency graph is acyclic (verified by
+// TestTheoremCDGAcyclic).
+func datelineClass(topo topology.Topology, here topology.Node, dim int, dir topology.Dir, off int) int {
+	coords := make([]int, topo.Dims())
+	topo.Coord(here, coords)
+	x := coords[dim]
+	k := topo.Radix(dim)
+	if dir == topology.Plus {
+		if x+off >= k && x != k-1 {
+			return 0 // wrap still ahead
+		}
+		return 1
+	}
+	if x+off < 0 && x != 0 {
+		return 0 // wrap still ahead (minus ring)
+	}
+	return 1
+}
+
+// ---------------------------------------------------------------------------
+// Duato fully adaptive routing.
+
+// Duato is fully adaptive minimal routing with escape channels per Duato's
+// necessary-and-sufficient condition [9]. Every hop — adaptive or escape —
+// follows a torus/mesh *minimal* direction, so the distance to the
+// destination strictly decreases each hop and no routing loop can form. The
+// escape subfunction is dimension-order routing: on meshes it owns virtual
+// channel 0; on tori it owns channels 0 and 1, operated as the Dally-Seitz
+// dateline classes (class 1 from the wraparound hop onward). The remaining
+// VCs are fully adaptive across every minimal direction.
+type Duato struct {
+	topo    topology.Topology
+	numVCs  int
+	escape  Func
+	adaptLo int // first adaptive VC index
+}
+
+// NewDuato constructs the adaptive function. Meshes need >= 2 VCs (1 escape +
+// adaptive); tori need >= 3 (2 dateline escape classes + adaptive).
+func NewDuato(topo topology.Topology, numVCs int) (*Duato, error) {
+	if topo.Wrap() {
+		if numVCs < 3 {
+			return nil, fmt.Errorf("routing: duato on a torus needs >= 3 VCs (2 dateline escape + adaptive), got %d", numVCs)
+		}
+		return &Duato{topo: topo, numVCs: numVCs, escape: &torusEscape{topo: topo, numVCs: numVCs}, adaptLo: 2}, nil
+	}
+	if numVCs < 2 {
+		return nil, fmt.Errorf("routing: duato needs >= 2 VCs (escape + adaptive), got %d", numVCs)
+	}
+	return &Duato{topo: topo, numVCs: numVCs, escape: &meshEscape{topo: topo, numVCs: numVCs}, adaptLo: 1}, nil
+}
+
+// Name implements Func.
+func (r *Duato) Name() string { return "duato" }
+
+// NumVCs implements Func.
+func (r *Duato) NumVCs() int { return r.numVCs }
+
+// Escape implements Func.
+func (r *Duato) Escape() Func { return r.escape }
+
+// Candidates implements Func. Adaptive channels come first (preferring the
+// dimension with the largest remaining offset, which tends to preserve
+// future adaptivity), the escape channel last.
+func (r *Duato) Candidates(here, dst topology.Node, inLink topology.LinkID, inVC int, out []Candidate) []Candidate {
+	offs := make([]int, r.topo.Dims())
+	r.topo.Offsets(here, dst, offs)
+
+	// Adaptive minimal candidates, largest offset first.
+	type move struct {
+		dim int
+		mag int
+		dir topology.Dir
+	}
+	var moves []move
+	for d, o := range offs {
+		if o == 0 {
+			continue
+		}
+		dir := topology.Plus
+		mag := o
+		if o < 0 {
+			dir = topology.Minus
+			mag = -o
+		}
+		moves = append(moves, move{dim: d, mag: mag, dir: dir})
+	}
+	for i := 1; i < len(moves); i++ {
+		for j := i; j > 0 && moves[j].mag > moves[j-1].mag; j-- {
+			moves[j], moves[j-1] = moves[j-1], moves[j]
+		}
+	}
+	for _, m := range moves {
+		link, ok := r.topo.OutLink(here, m.dim, m.dir)
+		if !ok {
+			continue
+		}
+		for vc := r.adaptLo; vc < r.numVCs; vc++ {
+			out = append(out, Candidate{Link: link, VC: vc})
+		}
+	}
+	// Escape candidate last.
+	return r.escape.Candidates(here, dst, inLink, inVC, out)
+}
+
+// meshEscape is the mesh escape subfunction: dimension-order routing
+// restricted to VC 0. Its dependency graph is acyclic, satisfying Duato's
+// condition with a single escape VC.
+type meshEscape struct {
+	topo   topology.Topology
+	numVCs int
+}
+
+// Name implements Func.
+func (r *meshEscape) Name() string { return "duato-escape" }
+
+// NumVCs implements Func.
+func (r *meshEscape) NumVCs() int { return r.numVCs }
+
+// Escape implements Func.
+func (r *meshEscape) Escape() Func { return r }
+
+// Candidates implements Func.
+func (r *meshEscape) Candidates(here, dst topology.Node, _ topology.LinkID, _ int, out []Candidate) []Candidate {
+	offs := make([]int, r.topo.Dims())
+	r.topo.Offsets(here, dst, offs)
+	for d, o := range offs {
+		if o == 0 {
+			continue
+		}
+		dir := topology.Plus
+		if o < 0 {
+			dir = topology.Minus
+		}
+		link, ok := r.topo.OutLink(here, d, dir)
+		if !ok {
+			panic(fmt.Sprintf("routing: escape has no link from node %d dim %d dir %v", here, d, dir))
+		}
+		return append(out, Candidate{Link: link, VC: 0})
+	}
+	return out
+}
+
+// torusEscape is the torus escape subfunction: dimension-order routing over
+// two dateline virtual channel classes (see datelineClass), class 0 on VC 0
+// and class 1 on VC 1. Because the class is a pure function of position and
+// destination, a message re-entering the escape network from an adaptive
+// excursion lands in exactly the class it would have had anyway.
+type torusEscape struct {
+	topo   topology.Topology
+	numVCs int
+}
+
+// Name implements Func.
+func (r *torusEscape) Name() string { return "duato-escape-dateline" }
+
+// NumVCs implements Func.
+func (r *torusEscape) NumVCs() int { return r.numVCs }
+
+// Escape implements Func.
+func (r *torusEscape) Escape() Func { return r }
+
+// Candidates implements Func.
+func (r *torusEscape) Candidates(here, dst topology.Node, _ topology.LinkID, _ int, out []Candidate) []Candidate {
+	offs := make([]int, r.topo.Dims())
+	r.topo.Offsets(here, dst, offs)
+	for d, o := range offs {
+		if o == 0 {
+			continue
+		}
+		dir := topology.Plus
+		if o < 0 {
+			dir = topology.Minus
+		}
+		link, ok := r.topo.OutLink(here, d, dir)
+		if !ok {
+			panic(fmt.Sprintf("routing: torus escape missing link at node %d dim %d", here, d))
+		}
+		return append(out, Candidate{Link: link, VC: datelineClass(r.topo, here, d, dir, o)})
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// WestFirst is the west-first turn-model routing algorithm of Glass & Ni for
+// 2-D meshes: a message that must travel west (dimension 0, Minus) makes all
+// of its westward hops first; afterwards it routes fully adaptively among
+// the remaining profitable directions (east, north, south). Prohibiting the
+// two turns into the west direction breaks every abstract cycle, so the
+// algorithm is deadlock-free with any number of virtual channels and no
+// escape split — a partially adaptive contrast to DOR (none) and Duato
+// (fully adaptive) in the evaluation matrix.
+type WestFirst struct {
+	topo   topology.Topology
+	numVCs int
+}
+
+// NewWestFirst constructs west-first routing; the topology must be a 2-D
+// mesh (the turn-model argument needs no wraparound edges).
+func NewWestFirst(topo topology.Topology, numVCs int) (*WestFirst, error) {
+	if numVCs < 1 {
+		return nil, fmt.Errorf("routing: west-first needs at least 1 VC, got %d", numVCs)
+	}
+	if topo.Wrap() {
+		return nil, fmt.Errorf("routing: west-first requires a mesh (turn model does not cover wraparound)")
+	}
+	if topo.Dims() != 2 {
+		return nil, fmt.Errorf("routing: west-first is defined for 2-D meshes, got %d dimensions", topo.Dims())
+	}
+	return &WestFirst{topo: topo, numVCs: numVCs}, nil
+}
+
+// Name implements Func.
+func (r *WestFirst) Name() string { return "westfirst" }
+
+// NumVCs implements Func.
+func (r *WestFirst) NumVCs() int { return r.numVCs }
+
+// Escape implements Func: the whole function's dependency graph is acyclic
+// (turn model), so it is its own escape.
+func (r *WestFirst) Escape() Func { return r }
+
+// Candidates implements Func.
+func (r *WestFirst) Candidates(here, dst topology.Node, _ topology.LinkID, _ int, out []Candidate) []Candidate {
+	offs := make([]int, 2)
+	r.topo.Offsets(here, dst, offs)
+	dx, dy := offs[0], offs[1]
+
+	if dx < 0 {
+		// West first, exclusively: no other direction may be taken while any
+		// westward hops remain.
+		link, ok := r.topo.OutLink(here, 0, topology.Minus)
+		if !ok {
+			panic(fmt.Sprintf("routing: west-first missing west link at node %d", here))
+		}
+		for vc := 0; vc < r.numVCs; vc++ {
+			out = append(out, Candidate{Link: link, VC: vc})
+		}
+		return out
+	}
+	// Fully adaptive among east and vertical moves.
+	appendDir := func(dim int, dir topology.Dir) {
+		link, ok := r.topo.OutLink(here, dim, dir)
+		if !ok {
+			panic(fmt.Sprintf("routing: west-first missing link at node %d dim %d", here, dim))
+		}
+		for vc := 0; vc < r.numVCs; vc++ {
+			out = append(out, Candidate{Link: link, VC: vc})
+		}
+	}
+	if dx > 0 {
+		appendDir(0, topology.Plus)
+	}
+	if dy > 0 {
+		appendDir(1, topology.Plus)
+	} else if dy < 0 {
+		appendDir(1, topology.Minus)
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+package sim
+
+// Clock is the global simulation time base, counted in wormhole-switch clock
+// cycles. Wave-pipelined transfers run at a configured multiple of this clock
+// and are accounted for with fractional-rate accumulators by their owners;
+// the Clock itself only ever advances by whole cycles.
+type Clock struct {
+	now int64
+}
+
+// Now returns the current cycle.
+func (c *Clock) Now() int64 { return c.now }
+
+// Tick advances the clock by one cycle and returns the new time.
+func (c *Clock) Tick() int64 {
+	c.now++
+	return c.now
+}
+
+// Reset rewinds the clock to cycle zero.
+func (c *Clock) Reset() { c.now = 0 }

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values in 100 draws", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for n := 1; n <= 17; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	r := NewRNG(99)
+	const n, draws = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("bucket %d: got %d, want about %d", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", v)
+		}
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(11)
+	const draws = 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / draws
+	if frac < 0.28 || frac > 0.32 {
+		t.Fatalf("Bool(0.3) hit fraction %g, want about 0.3", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(13)
+	check := func(n uint8) bool {
+		size := int(n%32) + 1
+		p := r.Perm(size)
+		if len(p) != size {
+			return false
+		}
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(21)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("parent and split child matched %d/100 draws", same)
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now = %d", c.Now())
+	}
+	for i := int64(1); i <= 5; i++ {
+		if got := c.Tick(); got != i {
+			t.Fatalf("Tick %d returned %d", i, got)
+		}
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Reset did not rewind: Now = %d", c.Now())
+	}
+}
+
+func TestWatchdogQuietWhenIdle(t *testing.T) {
+	w := &Watchdog{MaxAge: 10, StallWindow: 3}
+	for cyc := int64(0); cyc < 100; cyc++ {
+		if err := w.Check(cyc, 0, 0); err != nil {
+			t.Fatalf("watchdog fired with no work in flight: %v", err)
+		}
+	}
+}
+
+func TestWatchdogStarvation(t *testing.T) {
+	w := &Watchdog{MaxAge: 10}
+	w.Progress() // progress does not mask starvation
+	err := w.Check(50, 11, 1)
+	if err == nil {
+		t.Fatal("starvation not detected")
+	}
+	if es, ok := err.(*ErrStuck); !ok || es.OldestAge != 11 {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestWatchdogStall(t *testing.T) {
+	w := &Watchdog{StallWindow: 3}
+	for i := 0; i < 2; i++ {
+		if err := w.Check(int64(i), 1, 1); err != nil {
+			t.Fatalf("stall fired early at %d: %v", i, err)
+		}
+	}
+	if err := w.Check(2, 1, 1); err == nil {
+		t.Fatal("stall not detected after window")
+	}
+}
+
+func TestWatchdogProgressResetsStall(t *testing.T) {
+	w := &Watchdog{StallWindow: 2}
+	if err := w.Check(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	w.Progress()
+	if err := w.Check(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Run of stalls restarts from zero after the progress cycle.
+	if err := w.Check(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Check(3, 4, 1); err == nil {
+		t.Fatal("stall not detected after progress reset")
+	}
+}
+
+func TestWatchdogDisabled(t *testing.T) {
+	w := &Watchdog{} // both checks disabled
+	for cyc := int64(0); cyc < 1000; cyc++ {
+		if err := w.Check(cyc, cyc+1, 5); err != nil {
+			t.Fatalf("disabled watchdog fired: %v", err)
+		}
+	}
+}

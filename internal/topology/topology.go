@@ -1,0 +1,323 @@
+// Package topology models the direct interconnection networks the paper
+// targets: k-ary n-cubes (meshes and tori) and hypercubes, the "low
+// dimensional topologies" of state-of-the-art machines circa the paper
+// (section 1). It provides node/coordinate conversion, link enumeration, and
+// the per-dimension signed offsets that the routing probe carries in its
+// Xi-offset fields (Figure 4).
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node identifies a router/processor pair. Nodes are numbered 0..Nodes()-1 in
+// row-major coordinate order (dimension 0 varies fastest).
+type Node int
+
+// Dir is a direction along a dimension.
+type Dir int
+
+const (
+	// Plus moves toward increasing coordinate.
+	Plus Dir = 0
+	// Minus moves toward decreasing coordinate.
+	Minus Dir = 1
+)
+
+// Opposite returns the reverse direction.
+func (d Dir) Opposite() Dir { return 1 - d }
+
+func (d Dir) String() string {
+	if d == Plus {
+		return "+"
+	}
+	return "-"
+}
+
+// LinkID identifies a unidirectional physical link slot. Every node has
+// 2*Dims() outgoing slots, one per (dimension, direction); on meshes the
+// boundary slots exist as IDs but carry no link (Exists reports false).
+// LinkID = int(node)*2*dims + 2*dim + int(dir).
+type LinkID int
+
+// Invalid is the sentinel for "no link".
+const Invalid LinkID = -1
+
+// Link describes one unidirectional physical link.
+type Link struct {
+	ID   LinkID
+	From Node
+	To   Node
+	Dim  int
+	Dir  Dir
+	// Wrap reports whether this is a torus wraparound link (it crosses the
+	// dateline of its dimension). Routing schemes that need datelines — the
+	// two-class virtual channel scheme on tori — key off this flag.
+	Wrap bool
+}
+
+// Topology is the read-only interface the rest of the simulator consumes.
+type Topology interface {
+	// Nodes returns the number of nodes.
+	Nodes() int
+	// Dims returns the number of dimensions.
+	Dims() int
+	// Radix returns the number of nodes along dimension d.
+	Radix(d int) int
+	// Wrap reports whether the network has wraparound (torus) links.
+	Wrap() bool
+	// Coord writes the coordinates of n into out (len >= Dims) and returns it.
+	Coord(n Node, out []int) []int
+	// NodeAt returns the node at the given coordinates.
+	NodeAt(coord []int) Node
+	// Neighbor returns the node reached from n along (dim, dir), and whether
+	// such a link exists (always true on a torus, false at mesh boundaries).
+	Neighbor(n Node, dim int, dir Dir) (Node, bool)
+	// OutLink returns the outgoing link slot of n along (dim, dir). The ID is
+	// always well-formed; ok reports whether the physical link exists.
+	OutLink(n Node, dim int, dir Dir) (id LinkID, ok bool)
+	// LinkByID resolves a link slot. ok is false for non-existent mesh
+	// boundary slots and out-of-range IDs.
+	LinkByID(id LinkID) (Link, bool)
+	// NumLinkSlots returns Nodes()*2*Dims(), the size of dense per-link arrays.
+	NumLinkSlots() int
+	// Distance returns the minimal hop count between a and b.
+	Distance(a, b Node) int
+	// Offsets writes the per-dimension signed minimal offsets from `from` to
+	// `to` into out (len >= Dims) and returns it. These are the probe's
+	// Xi-offset fields: moving one hop in Plus decreases a positive offset by
+	// one (modulo wrap bookkeeping). On tori, ties at distance k/2 take Plus.
+	Offsets(from, to Node, out []int) []int
+	// Name returns a human-readable description, e.g. "8-ary 2-cube (torus)".
+	Name() string
+}
+
+// Cube is a k-ary n-cube: radixes per dimension, with or without wraparound.
+// It implements Topology. A hypercube is NewHypercube(n) = 2-ary n-cube
+// without wrap (with radix 2 the two directions coincide, so mesh form
+// avoids double links).
+type Cube struct {
+	radix  []int
+	wrap   bool
+	nodes  int
+	stride []int // stride[d] = product of radix[0..d-1]
+	name   string
+}
+
+// NewCube constructs a k-ary n-cube. radix lists the nodes per dimension
+// (all >= 2); wrap selects torus (true) or mesh (false).
+func NewCube(radix []int, wrap bool) (*Cube, error) {
+	if len(radix) == 0 {
+		return nil, fmt.Errorf("topology: need at least one dimension")
+	}
+	nodes := 1
+	stride := make([]int, len(radix))
+	for d, k := range radix {
+		if k < 2 {
+			return nil, fmt.Errorf("topology: dimension %d has radix %d, need >= 2", d, k)
+		}
+		stride[d] = nodes
+		nodes *= k
+	}
+	kind := "mesh"
+	if wrap {
+		kind = "torus"
+	}
+	uniform := true
+	for _, k := range radix[1:] {
+		if k != radix[0] {
+			uniform = false
+		}
+	}
+	var name string
+	if uniform {
+		name = fmt.Sprintf("%d-ary %d-cube (%s)", radix[0], len(radix), kind)
+	} else {
+		parts := make([]string, len(radix))
+		for i, k := range radix {
+			parts[i] = fmt.Sprint(k)
+		}
+		name = fmt.Sprintf("%s %s", strings.Join(parts, "x"), kind)
+	}
+	return &Cube{radix: append([]int(nil), radix...), wrap: wrap, nodes: nodes, stride: stride, name: name}, nil
+}
+
+// MustCube is NewCube that panics on error, for tests and fixed configs.
+func MustCube(radix []int, wrap bool) *Cube {
+	c, err := NewCube(radix, wrap)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewMesh2D returns an x-by-y mesh.
+func NewMesh2D(x, y int) (*Cube, error) { return NewCube([]int{x, y}, false) }
+
+// NewTorus2D returns an x-by-y torus.
+func NewTorus2D(x, y int) (*Cube, error) { return NewCube([]int{x, y}, true) }
+
+// NewHypercube returns an n-dimensional binary hypercube (2^n nodes).
+func NewHypercube(n int) (*Cube, error) {
+	radix := make([]int, n)
+	for i := range radix {
+		radix[i] = 2
+	}
+	c, err := NewCube(radix, false)
+	if err != nil {
+		return nil, err
+	}
+	c.name = fmt.Sprintf("%d-dimensional hypercube", n)
+	return c, nil
+}
+
+// Nodes implements Topology.
+func (c *Cube) Nodes() int { return c.nodes }
+
+// Dims implements Topology.
+func (c *Cube) Dims() int { return len(c.radix) }
+
+// Radix implements Topology.
+func (c *Cube) Radix(d int) int { return c.radix[d] }
+
+// Wrap implements Topology.
+func (c *Cube) Wrap() bool { return c.wrap }
+
+// Name implements Topology.
+func (c *Cube) Name() string { return c.name }
+
+// Coord implements Topology.
+func (c *Cube) Coord(n Node, out []int) []int {
+	v := int(n)
+	for d, k := range c.radix {
+		out[d] = v % k
+		v /= k
+	}
+	return out[:len(c.radix)]
+}
+
+// NodeAt implements Topology.
+func (c *Cube) NodeAt(coord []int) Node {
+	v := 0
+	for d := len(c.radix) - 1; d >= 0; d-- {
+		v = v*c.radix[d] + coord[d]
+	}
+	return Node(v)
+}
+
+// coordAlong returns the coordinate of n in dimension d without allocating.
+func (c *Cube) coordAlong(n Node, d int) int {
+	return (int(n) / c.stride[d]) % c.radix[d]
+}
+
+// Neighbor implements Topology.
+func (c *Cube) Neighbor(n Node, dim int, dir Dir) (Node, bool) {
+	x := c.coordAlong(n, dim)
+	k := c.radix[dim]
+	var nx int
+	if dir == Plus {
+		nx = x + 1
+		if nx == k {
+			if !c.wrap {
+				return 0, false
+			}
+			nx = 0
+		}
+	} else {
+		nx = x - 1
+		if nx < 0 {
+			if !c.wrap {
+				return 0, false
+			}
+			nx = k - 1
+		}
+	}
+	return n + Node((nx-x)*c.stride[dim]), true
+}
+
+// OutLink implements Topology.
+func (c *Cube) OutLink(n Node, dim int, dir Dir) (LinkID, bool) {
+	id := LinkID(int(n)*2*len(c.radix) + 2*dim + int(dir))
+	_, ok := c.Neighbor(n, dim, dir)
+	return id, ok
+}
+
+// NumLinkSlots implements Topology.
+func (c *Cube) NumLinkSlots() int { return c.nodes * 2 * len(c.radix) }
+
+// LinkByID implements Topology.
+func (c *Cube) LinkByID(id LinkID) (Link, bool) {
+	if id < 0 || int(id) >= c.NumLinkSlots() {
+		return Link{}, false
+	}
+	per := 2 * len(c.radix)
+	n := Node(int(id) / per)
+	rest := int(id) % per
+	dim := rest / 2
+	dir := Dir(rest % 2)
+	to, ok := c.Neighbor(n, dim, dir)
+	if !ok {
+		return Link{}, false
+	}
+	x := c.coordAlong(n, dim)
+	wrapLink := c.wrap && ((dir == Plus && x == c.radix[dim]-1) || (dir == Minus && x == 0))
+	return Link{ID: id, From: n, To: to, Dim: dim, Dir: dir, Wrap: wrapLink}, true
+}
+
+// Distance implements Topology.
+func (c *Cube) Distance(a, b Node) int {
+	d := 0
+	for dim := range c.radix {
+		d += absInt(c.offsetAlong(a, b, dim))
+	}
+	return d
+}
+
+// offsetAlong returns the signed minimal offset from a to b in dimension dim.
+// Positive means travel in Plus. On tori, ties (distance exactly k/2 with k
+// even) resolve to Plus so that routing is deterministic.
+func (c *Cube) offsetAlong(a, b Node, dim int) int {
+	xa := c.coordAlong(a, dim)
+	xb := c.coordAlong(b, dim)
+	diff := xb - xa
+	if !c.wrap {
+		return diff
+	}
+	k := c.radix[dim]
+	// Normalize into (-k/2, k/2]; for even k the tie k/2 goes Plus.
+	for diff > k/2 {
+		diff -= k
+	}
+	for diff < -(k-1)/2 {
+		diff += k
+	}
+	return diff
+}
+
+// Offsets implements Topology.
+func (c *Cube) Offsets(from, to Node, out []int) []int {
+	for dim := range c.radix {
+		out[dim] = c.offsetAlong(from, to, dim)
+	}
+	return out[:len(c.radix)]
+}
+
+// AllLinks returns every existing physical link, in LinkID order. It is a
+// convenience for tests and the dependency-graph checker.
+func AllLinks(t Topology) []Link {
+	var links []Link
+	for id := 0; id < t.NumLinkSlots(); id++ {
+		if l, ok := t.LinkByID(LinkID(id)); ok {
+			links = append(links, l)
+		}
+	}
+	return links
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

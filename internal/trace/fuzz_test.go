@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the trace parser with arbitrary input: it must never
+// panic, and anything it accepts must re-encode and re-parse to the same
+// program (a full round-trip invariant).
+func FuzzParse(f *testing.F) {
+	f.Add("@0 open 0 5\n@3 send 0 5 128\n@9 close 0 5\n")
+	f.Add("# comment\n\n@1 send 1 2 3 wormhole\n")
+	f.Add("@x open a b")
+	f.Add("@-5 close 0 0")
+	f.Add(strings.Repeat("@1 send 0 1 1\n", 50))
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, p); err != nil {
+			t.Fatalf("accepted program failed to encode: %v", err)
+		}
+		p2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if len(p2) != len(p) {
+			t.Fatalf("round trip length %d vs %d", len(p2), len(p))
+		}
+		for i := range p {
+			if p[i] != p2[i] {
+				t.Fatalf("directive %d: %+v vs %+v", i, p[i], p2[i])
+			}
+		}
+	})
+}

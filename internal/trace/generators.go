@@ -1,0 +1,93 @@
+package trace
+
+// Program generators: the canned "compiler outputs" for classic
+// message-passing kernels. The paper leaves CARP's compiler support as
+// future work; these generators play that role for the kernels whose
+// communication structure a compiler can statically know. They are
+// deliberately decoupled from the topology package — callers supply a
+// neighbour function — so they can also script irregular node sets.
+
+import "fmt"
+
+// Stencil emits an iterative halo-exchange program: open a circuit to every
+// neighbour, stream `iters` rounds of `haloFlits`-long messages spaced `gap`
+// cycles apart, close everything afterwards. Neighbour lists come from the
+// caller (e.g. wave.Simulator.Neighbors).
+func Stencil(nodes int, neighbors func(int) []int, iters, haloFlits int, gap int64) (Program, error) {
+	if nodes < 1 || iters < 1 || haloFlits < 1 || gap < 1 {
+		return nil, fmt.Errorf("trace: invalid stencil parameters")
+	}
+	var p Program
+	for n := 0; n < nodes; n++ {
+		for _, nb := range neighbors(n) {
+			p = append(p, Directive{Cycle: 0, Op: Open, Src: n, Dst: nb})
+		}
+	}
+	for it := 0; it < iters; it++ {
+		t := int64(1) + int64(it)*gap
+		for n := 0; n < nodes; n++ {
+			for _, nb := range neighbors(n) {
+				p = append(p, Directive{Cycle: t, Op: Send, Src: n, Dst: nb, Flits: haloFlits})
+			}
+		}
+	}
+	end := int64(1) + int64(iters)*gap
+	for n := 0; n < nodes; n++ {
+		for _, nb := range neighbors(n) {
+			p = append(p, Directive{Cycle: end, Op: Close, Src: n, Dst: nb})
+		}
+	}
+	p.Sort()
+	return p, nil
+}
+
+// Ring emits a ring-shift program: node i streams `rounds` messages of
+// `flits` to node (i+1) mod nodes over a held-open circuit — the classic
+// systolic pattern the paper's reference [3] (iWarp) motivates.
+func Ring(nodes, rounds, flits int, gap int64) (Program, error) {
+	if nodes < 2 || rounds < 1 || flits < 1 || gap < 1 {
+		return nil, fmt.Errorf("trace: invalid ring parameters")
+	}
+	var p Program
+	for n := 0; n < nodes; n++ {
+		p = append(p, Directive{Cycle: 0, Op: Open, Src: n, Dst: (n + 1) % nodes})
+	}
+	for r := 0; r < rounds; r++ {
+		t := int64(1) + int64(r)*gap
+		for n := 0; n < nodes; n++ {
+			p = append(p, Directive{Cycle: t, Op: Send, Src: n, Dst: (n + 1) % nodes, Flits: flits})
+		}
+	}
+	end := int64(1) + int64(rounds)*gap
+	for n := 0; n < nodes; n++ {
+		p = append(p, Directive{Cycle: end, Op: Close, Src: n, Dst: (n + 1) % nodes})
+	}
+	p.Sort()
+	return p, nil
+}
+
+// AllToAll emits a staged personalized all-to-all: in stage s, node i
+// exchanges with partner i XOR s (the hypercube-style pairing), opening the
+// circuit just before the exchange and closing it right after — circuits are
+// a scarce resource, so the compiler time-multiplexes them (the "global
+// optimization" the paper says CARP enables).
+func AllToAll(nodes, flits int, stageGap int64) (Program, error) {
+	if nodes < 2 || nodes&(nodes-1) != 0 {
+		return nil, fmt.Errorf("trace: all-to-all needs a power-of-two node count, got %d", nodes)
+	}
+	if flits < 1 || stageGap < 2 {
+		return nil, fmt.Errorf("trace: invalid all-to-all parameters")
+	}
+	var p Program
+	for s := 1; s < nodes; s++ {
+		t := int64(s-1) * stageGap
+		for n := 0; n < nodes; n++ {
+			partner := n ^ s
+			p = append(p, Directive{Cycle: t, Op: Open, Src: n, Dst: partner})
+			p = append(p, Directive{Cycle: t + 1, Op: Send, Src: n, Dst: partner, Flits: flits})
+			p = append(p, Directive{Cycle: t + stageGap - 1, Op: Close, Src: n, Dst: partner})
+		}
+	}
+	p.Sort()
+	return p, nil
+}

@@ -1,0 +1,146 @@
+package trace
+
+import "testing"
+
+func lineNeighbors(nodes int) func(int) []int {
+	return func(n int) []int {
+		var out []int
+		if n > 0 {
+			out = append(out, n-1)
+		}
+		if n < nodes-1 {
+			out = append(out, n+1)
+		}
+		return out
+	}
+}
+
+func countOps(p Program) (opens, sends, closes int) {
+	for _, d := range p {
+		switch d.Op {
+		case Open:
+			opens++
+		case Send:
+			sends++
+		case Close:
+			closes++
+		}
+	}
+	return
+}
+
+func TestStencilGenerator(t *testing.T) {
+	const nodes, iters = 4, 3
+	p, err := Stencil(nodes, lineNeighbors(nodes), iters, 32, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(nodes); err != nil {
+		t.Fatal(err)
+	}
+	// Line of 4: 2*3 = 6 directed neighbour pairs.
+	opens, sends, closes := countOps(p)
+	if opens != 6 || closes != 6 {
+		t.Fatalf("opens=%d closes=%d", opens, closes)
+	}
+	if sends != 6*iters {
+		t.Fatalf("sends=%d", sends)
+	}
+	// Opens at cycle 0, closes last.
+	if p[0].Op != Open || p[len(p)-1].Op != Close {
+		t.Fatal("order wrong")
+	}
+}
+
+func TestStencilValidation(t *testing.T) {
+	if _, err := Stencil(0, lineNeighbors(1), 1, 1, 1); err == nil {
+		t.Fatal("bad nodes accepted")
+	}
+	if _, err := Stencil(4, lineNeighbors(4), 1, 1, 0); err == nil {
+		t.Fatal("bad gap accepted")
+	}
+}
+
+func TestRingGenerator(t *testing.T) {
+	p, err := Ring(6, 4, 16, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	opens, sends, closes := countOps(p)
+	if opens != 6 || closes != 6 || sends != 24 {
+		t.Fatalf("ops: %d %d %d", opens, sends, closes)
+	}
+	// Every send goes to the successor.
+	for _, d := range p {
+		if d.Op == Send && d.Dst != (d.Src+1)%6 {
+			t.Fatalf("ring send %d -> %d", d.Src, d.Dst)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := Ring(1, 1, 1, 1); err == nil {
+		t.Fatal("1-node ring accepted")
+	}
+}
+
+func TestAllToAllGenerator(t *testing.T) {
+	const nodes = 8
+	p, err := AllToAll(nodes, 16, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(nodes); err != nil {
+		t.Fatal(err)
+	}
+	opens, sends, closes := countOps(p)
+	want := nodes * (nodes - 1) // each node exchanges with every other once
+	if sends != want || opens != want || closes != want {
+		t.Fatalf("ops: %d %d %d, want %d each", opens, sends, closes, want)
+	}
+	// Pairing symmetry: in every stage each node sends exactly once, to its
+	// XOR partner.
+	seen := map[[2]int]bool{}
+	for _, d := range p {
+		if d.Op != Send {
+			continue
+		}
+		key := [2]int{d.Src, d.Dst}
+		if seen[key] {
+			t.Fatalf("duplicate exchange %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestAllToAllValidation(t *testing.T) {
+	if _, err := AllToAll(6, 16, 100); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if _, err := AllToAll(8, 16, 1); err == nil {
+		t.Fatal("tiny stage gap accepted")
+	}
+}
+
+// TestGeneratedProgramsRunThroughPlayer round-trips a generated program
+// through encode/parse and plays it to completion.
+func TestGeneratedProgramsRunThroughPlayer(t *testing.T) {
+	p, err := Ring(4, 2, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPlayer(p)
+	fired := 0
+	for now := int64(0); !pl.Done(); now++ {
+		pl.Tick(now, func(Directive) { fired++ })
+		if now > 1000 {
+			t.Fatal("player never finished")
+		}
+	}
+	if fired != len(p) {
+		t.Fatalf("fired %d of %d", fired, len(p))
+	}
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() Program {
+	return Program{
+		{Cycle: 0, Op: Open, Src: 1, Dst: 2},
+		{Cycle: 5, Op: Send, Src: 1, Dst: 2, Flits: 64},
+		{Cycle: 5, Op: Send, Src: 1, Dst: 2, Flits: 4, Wormhole: true},
+		{Cycle: 9, Op: Close, Src: 1, Dst: 2},
+	}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if len(got) != len(want) {
+		t.Fatalf("round trip length %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("directive %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	src := `
+# DSM phase one
+@0 open 0 5
+
+@3 send 0 5 128
+`
+	p, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 2 || p[0].Op != Open || p[1].Flits != 128 {
+		t.Fatalf("parsed: %+v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"open 0 5",             // missing @cycle
+		"@x open 0 5",          // bad cycle
+		"@1 open 0",            // too few fields
+		"@1 open 0 5 9",        // too many for open
+		"@1 close 0 5 9",       // too many for close
+		"@1 send 0 5",          // send missing flits
+		"@1 send 0 5 8 circus", // bad flag
+		"@1 send 0 5 x",        // bad flits
+		"@1 jump 0 5",          // unknown op
+		"@1 send a 5 8",        // bad src
+		"@1 send 0 b 8",        // bad dst
+	}
+	for _, line := range bad {
+		if _, err := Parse(strings.NewReader(line)); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := sample()
+	if err := p.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+	out := Program{{Cycle: 5, Op: Open, Src: 0, Dst: 1}, {Cycle: 1, Op: Open, Src: 0, Dst: 2}}
+	if err := out.Validate(16); err == nil {
+		t.Fatal("out-of-order program accepted")
+	}
+	out.Sort()
+	if err := out.Validate(16); err != nil {
+		t.Fatalf("sorted program rejected: %v", err)
+	}
+	bad := Program{{Cycle: 0, Op: Open, Src: 99, Dst: 1}}
+	if err := bad.Validate(16); err == nil {
+		t.Fatal("node out of range accepted")
+	}
+	badLen := Program{{Cycle: 0, Op: Send, Src: 0, Dst: 1, Flits: 0}}
+	if err := badLen.Validate(16); err == nil {
+		t.Fatal("zero-flit send accepted")
+	}
+}
+
+func TestPlayer(t *testing.T) {
+	pl := NewPlayer(sample())
+	if pl.Done() || pl.Remaining() != 4 {
+		t.Fatal("fresh player state wrong")
+	}
+	var fired []Directive
+	pl.Tick(0, func(d Directive) { fired = append(fired, d) })
+	if len(fired) != 1 || fired[0].Op != Open {
+		t.Fatalf("tick 0 fired %+v", fired)
+	}
+	pl.Tick(4, func(d Directive) { fired = append(fired, d) })
+	if len(fired) != 1 {
+		t.Fatal("tick 4 fired early directives")
+	}
+	pl.Tick(7, func(d Directive) { fired = append(fired, d) })
+	if len(fired) != 3 {
+		t.Fatalf("tick 7: %d fired", len(fired))
+	}
+	pl.Tick(100, func(d Directive) { fired = append(fired, d) })
+	if !pl.Done() || len(fired) != 4 {
+		t.Fatal("player did not finish")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Open.String() != "open" || Send.String() != "send" || Close.String() != "close" {
+		t.Fatal("op strings wrong")
+	}
+	if Op(9).String() != "op(9)" {
+		t.Fatal("unknown op string wrong")
+	}
+}

@@ -1,0 +1,387 @@
+// Package traffic generates the synthetic workloads the experiments drive
+// the network with: the classic permutation patterns of the interconnection-
+// network literature (uniform, transpose, bit-reversal, bit-complement,
+// tornado, neighbour, hotspot), plus an explicit communication-locality model
+// — the controlled variable of this paper, since circuits only pay off when
+// "two nodes are going to communicate frequently" (section 1).
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Pattern maps a source node to a destination node, possibly randomly.
+type Pattern interface {
+	// Name identifies the pattern.
+	Name() string
+	// Pick returns the destination for a message from src.
+	Pick(src topology.Node, rng *sim.RNG) topology.Node
+}
+
+// NewPattern builds a pattern by name for the topology. Supported names:
+// uniform, transpose, bitreverse, bitcomplement, tornado, neighbor, hotspot.
+func NewPattern(name string, topo topology.Topology) (Pattern, error) {
+	switch name {
+	case "uniform":
+		return Uniform{N: topo.Nodes()}, nil
+	case "transpose":
+		if topo.Dims() != 2 || topo.Radix(0) != topo.Radix(1) {
+			return nil, fmt.Errorf("traffic: transpose needs a square 2-D network")
+		}
+		return Transpose{Topo: topo}, nil
+	case "bitreverse":
+		if topo.Nodes()&(topo.Nodes()-1) != 0 {
+			return nil, fmt.Errorf("traffic: bit-reversal needs a power-of-two node count")
+		}
+		return BitReverse{N: topo.Nodes()}, nil
+	case "bitcomplement":
+		if topo.Nodes()&(topo.Nodes()-1) != 0 {
+			return nil, fmt.Errorf("traffic: bit-complement needs a power-of-two node count")
+		}
+		return BitComplement{N: topo.Nodes()}, nil
+	case "tornado":
+		return Tornado{Topo: topo}, nil
+	case "neighbor":
+		return Neighbor{Topo: topo}, nil
+	case "hotspot":
+		return Hotspot{N: topo.Nodes(), Spot: topology.Node(topo.Nodes() / 2), Fraction: 0.2}, nil
+	case "near":
+		return NewNear(topo, 2)
+	default:
+		return nil, fmt.Errorf("traffic: unknown pattern %q", name)
+	}
+}
+
+// Near picks uniformly among nodes within Radius hops (excluding self) — the
+// spatial communication locality the paper expects from "an appropriate
+// mapping of processes to processors" (section 1). Short circuits consume few
+// wave channels, so many can coexist.
+type Near struct {
+	Topo   topology.Topology
+	Radius int
+
+	within [][]topology.Node // per source: nodes at distance 1..Radius
+}
+
+// NewNear precomputes the neighbourhoods.
+func NewNear(topo topology.Topology, radius int) (*Near, error) {
+	if radius < 1 {
+		return nil, fmt.Errorf("traffic: near radius must be >= 1, got %d", radius)
+	}
+	n := &Near{Topo: topo, Radius: radius, within: make([][]topology.Node, topo.Nodes())}
+	for src := topology.Node(0); int(src) < topo.Nodes(); src++ {
+		for dst := topology.Node(0); int(dst) < topo.Nodes(); dst++ {
+			if dst == src {
+				continue
+			}
+			if topo.Distance(src, dst) <= radius {
+				n.within[src] = append(n.within[src], dst)
+			}
+		}
+		if len(n.within[src]) == 0 {
+			return nil, fmt.Errorf("traffic: node %d has no neighbours within radius %d", src, radius)
+		}
+	}
+	return n, nil
+}
+
+// Name implements Pattern.
+func (n *Near) Name() string { return fmt.Sprintf("near(r=%d)", n.Radius) }
+
+// Pick implements Pattern.
+func (n *Near) Pick(src topology.Node, rng *sim.RNG) topology.Node {
+	set := n.within[src]
+	return set[rng.Intn(len(set))]
+}
+
+// Uniform sends to a uniformly random node (possibly self-excluding).
+type Uniform struct{ N int }
+
+// Name implements Pattern.
+func (Uniform) Name() string { return "uniform" }
+
+// Pick implements Pattern.
+func (u Uniform) Pick(src topology.Node, rng *sim.RNG) topology.Node {
+	for {
+		d := topology.Node(rng.Intn(u.N))
+		if d != src {
+			return d
+		}
+	}
+}
+
+// Transpose sends (x, y) to (y, x) — a classic adversarial permutation for
+// dimension-order routing.
+type Transpose struct{ Topo topology.Topology }
+
+// Name implements Pattern.
+func (Transpose) Name() string { return "transpose" }
+
+// Pick implements Pattern.
+func (t Transpose) Pick(src topology.Node, _ *sim.RNG) topology.Node {
+	c := make([]int, 2)
+	t.Topo.Coord(src, c)
+	c[0], c[1] = c[1], c[0]
+	return t.Topo.NodeAt(c)
+}
+
+// BitReverse sends node b_{n-1}..b_0 to node b_0..b_{n-1}.
+type BitReverse struct{ N int }
+
+// Name implements Pattern.
+func (BitReverse) Name() string { return "bitreverse" }
+
+// Pick implements Pattern.
+func (b BitReverse) Pick(src topology.Node, _ *sim.RNG) topology.Node {
+	w := bits.Len(uint(b.N)) - 1
+	return topology.Node(int(bits.Reverse(uint(src))>>(bits.UintSize-w)) % b.N)
+}
+
+// BitComplement sends node b to ^b.
+type BitComplement struct{ N int }
+
+// Name implements Pattern.
+func (BitComplement) Name() string { return "bitcomplement" }
+
+// Pick implements Pattern.
+func (b BitComplement) Pick(src topology.Node, _ *sim.RNG) topology.Node {
+	return topology.Node((b.N - 1) ^ int(src))
+}
+
+// Tornado sends half way around each dimension — the worst case for minimal
+// routing on tori.
+type Tornado struct{ Topo topology.Topology }
+
+// Name implements Pattern.
+func (Tornado) Name() string { return "tornado" }
+
+// Pick implements Pattern.
+func (t Tornado) Pick(src topology.Node, _ *sim.RNG) topology.Node {
+	c := make([]int, t.Topo.Dims())
+	t.Topo.Coord(src, c)
+	for d := range c {
+		k := t.Topo.Radix(d)
+		c[d] = (c[d] + (k/2 - 1 + k%2)) % k
+	}
+	return t.Topo.NodeAt(c)
+}
+
+// Neighbor sends to the +1 neighbour in dimension 0 (maximal locality).
+type Neighbor struct{ Topo topology.Topology }
+
+// Name implements Pattern.
+func (Neighbor) Name() string { return "neighbor" }
+
+// Pick implements Pattern.
+func (n Neighbor) Pick(src topology.Node, _ *sim.RNG) topology.Node {
+	if nb, ok := n.Topo.Neighbor(src, 0, topology.Plus); ok {
+		return nb
+	}
+	nb, _ := n.Topo.Neighbor(src, 0, topology.Minus)
+	return nb
+}
+
+// Hotspot sends a fraction of traffic to one node and the rest uniformly.
+type Hotspot struct {
+	N        int
+	Spot     topology.Node
+	Fraction float64
+}
+
+// Name implements Pattern.
+func (Hotspot) Name() string { return "hotspot" }
+
+// Pick implements Pattern.
+func (h Hotspot) Pick(src topology.Node, rng *sim.RNG) topology.Node {
+	if src != h.Spot && rng.Bool(h.Fraction) {
+		return h.Spot
+	}
+	return Uniform{N: h.N}.Pick(src, rng)
+}
+
+// ---------------------------------------------------------------------------
+// Locality model.
+
+// Locality wraps a base pattern with working sets: with probability Reuse a
+// node sends to a member of its current working set (drawn once from the base
+// pattern), otherwise to a fresh base-pattern destination. Every Period
+// messages the working set is redrawn. Reuse=0 degenerates to the base
+// pattern; Reuse near 1 with a small working set is the temporal locality
+// that makes circuit caching pay.
+type Locality struct {
+	Base    Pattern
+	SetSize int     // working-set size per node
+	Reuse   float64 // probability of sending within the working set
+	Period  int     // messages between working-set redraws (0 = never)
+
+	sets  [][]topology.Node
+	count []int
+}
+
+// NewLocality builds the locality wrapper for n nodes.
+func NewLocality(base Pattern, nodes, setSize int, reuse float64, period int) (*Locality, error) {
+	if setSize < 1 {
+		return nil, fmt.Errorf("traffic: working-set size must be >= 1, got %d", setSize)
+	}
+	if reuse < 0 || reuse > 1 {
+		return nil, fmt.Errorf("traffic: reuse probability %g out of [0,1]", reuse)
+	}
+	return &Locality{
+		Base:    base,
+		SetSize: setSize,
+		Reuse:   reuse,
+		Period:  period,
+		sets:    make([][]topology.Node, nodes),
+		count:   make([]int, nodes),
+	}, nil
+}
+
+// Name implements Pattern.
+func (l *Locality) Name() string {
+	return fmt.Sprintf("local(%s,set=%d,p=%.2f)", l.Base.Name(), l.SetSize, l.Reuse)
+}
+
+// Pick implements Pattern.
+func (l *Locality) Pick(src topology.Node, rng *sim.RNG) topology.Node {
+	s := int(src)
+	if l.sets[s] == nil || (l.Period > 0 && l.count[s] >= l.Period) {
+		l.redraw(src, rng)
+	}
+	l.count[s]++
+	if rng.Bool(l.Reuse) {
+		set := l.sets[s]
+		return set[rng.Intn(len(set))]
+	}
+	return l.Base.Pick(src, rng)
+}
+
+func (l *Locality) redraw(src topology.Node, rng *sim.RNG) {
+	s := int(src)
+	set := make([]topology.Node, 0, l.SetSize)
+	// The base pattern's support may hold fewer than SetSize distinct
+	// destinations (e.g. a 16-entry working set on a 16-node network), so the
+	// fill loop is attempt-bounded; the set is then simply smaller.
+	for attempts := 0; len(set) < l.SetSize && attempts < 20*l.SetSize+100; attempts++ {
+		d := l.Base.Pick(src, rng)
+		dup := false
+		for _, e := range set {
+			if e == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			set = append(set, d)
+		}
+	}
+	l.sets[s] = set
+	l.count[s] = 0
+}
+
+// ---------------------------------------------------------------------------
+// Message lengths.
+
+// LengthDist draws message lengths in flits.
+type LengthDist interface {
+	Name() string
+	Draw(rng *sim.RNG) int
+	// Mean returns the expected length, used to convert flit loads to
+	// message rates.
+	Mean() float64
+}
+
+// Fixed always returns L.
+type Fixed struct{ L int }
+
+// Name implements LengthDist.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed(%d)", f.L) }
+
+// Draw implements LengthDist.
+func (f Fixed) Draw(*sim.RNG) int { return f.L }
+
+// Mean implements LengthDist.
+func (f Fixed) Mean() float64 { return float64(f.L) }
+
+// Bimodal mixes short control messages and long data messages — the DSM
+// workload shape from the paper's introduction (coherence commands vs data).
+type Bimodal struct {
+	Short, Long int
+	PLong       float64
+}
+
+// Name implements LengthDist.
+func (b Bimodal) Name() string {
+	return fmt.Sprintf("bimodal(%d/%d,p=%.2f)", b.Short, b.Long, b.PLong)
+}
+
+// Draw implements LengthDist.
+func (b Bimodal) Draw(rng *sim.RNG) int {
+	if rng.Bool(b.PLong) {
+		return b.Long
+	}
+	return b.Short
+}
+
+// Mean implements LengthDist.
+func (b Bimodal) Mean() float64 {
+	return float64(b.Short)*(1-b.PLong) + float64(b.Long)*b.PLong
+}
+
+// UniformLen draws uniformly in [Min, Max].
+type UniformLen struct{ Min, Max int }
+
+// Name implements LengthDist.
+func (u UniformLen) Name() string { return fmt.Sprintf("ulen(%d..%d)", u.Min, u.Max) }
+
+// Draw implements LengthDist.
+func (u UniformLen) Draw(rng *sim.RNG) int { return u.Min + rng.Intn(u.Max-u.Min+1) }
+
+// Mean implements LengthDist.
+func (u UniformLen) Mean() float64 { return float64(u.Min+u.Max) / 2 }
+
+// ---------------------------------------------------------------------------
+// Generator.
+
+// Generator produces Bernoulli open-loop traffic: each cycle each node
+// independently starts a message with probability Load/Mean(length), giving
+// an applied load of Load flits per node per cycle.
+type Generator struct {
+	Pattern Pattern
+	Length  LengthDist
+	// Load is the applied load in flits/node/cycle.
+	Load float64
+
+	rng   *sim.RNG
+	nodes int
+}
+
+// NewGenerator builds a generator for `nodes` nodes with its own RNG stream.
+func NewGenerator(p Pattern, l LengthDist, load float64, nodes int, seed uint64) (*Generator, error) {
+	if load < 0 {
+		return nil, fmt.Errorf("traffic: negative load %g", load)
+	}
+	if l.Mean() <= 0 {
+		return nil, fmt.Errorf("traffic: non-positive mean length")
+	}
+	return &Generator{Pattern: p, Length: l, Load: load, rng: sim.NewRNG(seed), nodes: nodes}, nil
+}
+
+// MsgRate returns the per-node message start probability per cycle.
+func (g *Generator) MsgRate() float64 { return g.Load / g.Length.Mean() }
+
+// Tick emits this cycle's new messages by calling send for each.
+func (g *Generator) Tick(send func(src, dst topology.Node, length int)) {
+	rate := g.MsgRate()
+	for n := 0; n < g.nodes; n++ {
+		if !g.rng.Bool(rate) {
+			continue
+		}
+		src := topology.Node(n)
+		dst := g.Pattern.Pick(src, g.rng)
+		send(src, dst, g.Length.Draw(g.rng))
+	}
+}

@@ -1,0 +1,101 @@
+// Package viz renders simulator state as fixed-width text: link-utilization
+// heat maps for 2-D networks and latency histograms. The output is plain
+// ASCII digits/bars so traces diff cleanly and work in any terminal.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// LinkSample is one link's aggregate traffic for the heat map.
+type LinkSample struct {
+	From, To int
+	Dim      int
+	Flits    int64
+}
+
+// HeatMap writes one digit grid per dimension for a 2-D nx-by-ny network:
+// cell (x, y) shows the combined traffic of node (x,y)'s links in that
+// dimension, scaled 0-9 against the busiest link. Rows print top (high y)
+// to bottom.
+func HeatMap(w io.Writer, nx, ny int, loads []LinkSample) error {
+	if nx < 1 || ny < 1 {
+		return fmt.Errorf("viz: invalid grid %dx%d", nx, ny)
+	}
+	var maxLoad int64 = 1
+	for _, l := range loads {
+		if l.Flits > maxLoad {
+			maxLoad = l.Flits
+		}
+	}
+	type key struct{ dim, from int }
+	sum := map[key]int64{}
+	dims := 0
+	for _, l := range loads {
+		sum[key{l.Dim, l.From}] += l.Flits
+		if l.Dim+1 > dims {
+			dims = l.Dim + 1
+		}
+	}
+	for dim := 0; dim < dims; dim++ {
+		fmt.Fprintf(w, "link utilization, dimension %d (0-9 scaled to busiest link, directions summed):\n", dim)
+		for y := ny - 1; y >= 0; y-- {
+			var sb strings.Builder
+			for x := 0; x < nx; x++ {
+				node := y*nx + x
+				v := sum[key{dim, node}]
+				d := v * 9 / (2 * maxLoad)
+				if d > 9 {
+					d = 9
+				}
+				fmt.Fprintf(&sb, "%d ", d)
+			}
+			fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+		}
+	}
+	return nil
+}
+
+// Histogram writes a `bins`-row ASCII bar chart of the samples.
+func Histogram(w io.Writer, samples []int64, bins int) error {
+	if bins < 1 {
+		return fmt.Errorf("viz: invalid bin count %d", bins)
+	}
+	if len(samples) == 0 {
+		_, err := fmt.Fprintln(w, "(no samples)")
+		return err
+	}
+	maxV := int64(1)
+	for _, v := range samples {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	counts := make([]int, bins)
+	for _, v := range samples {
+		b := int(v * int64(bins) / (maxV + 1))
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	maxC := 1
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range counts {
+		lo := maxV * int64(i) / int64(bins)
+		bar := strings.Repeat("#", c*50/maxC)
+		if _, err := fmt.Fprintf(w, "%8d | %-50s %d\n", lo, bar, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeatMapLayout(t *testing.T) {
+	loads := []LinkSample{
+		{From: 0, To: 1, Dim: 0, Flits: 100},
+		{From: 1, To: 0, Dim: 0, Flits: 100},
+		{From: 0, To: 2, Dim: 1, Flits: 10},
+	}
+	var b strings.Builder
+	if err := HeatMap(&b, 2, 2, loads); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "dimension") != 2 {
+		t.Fatalf("expected two dimension grids:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 2 rows per dimension = 6 lines.
+	if len(lines) != 6 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// Node 0 and node 1 each source 100 flits in dim 0 against a busiest
+	// link of 100: digit 100*9/200 = 4 for both (bottom row is y=0).
+	bottom := lines[2]
+	if bottom != "4 4" {
+		t.Fatalf("bottom row = %q", bottom)
+	}
+	// The dim-1 grid shows node 0 sourcing 10 flits -> digit 0.
+	if lines[5] != "0 0" {
+		t.Fatalf("dim-1 bottom row = %q", lines[5])
+	}
+}
+
+func TestHeatMapValidation(t *testing.T) {
+	if err := HeatMap(&strings.Builder{}, 0, 2, nil); err == nil {
+		t.Fatal("invalid grid accepted")
+	}
+}
+
+func TestHeatMapEmptyLoads(t *testing.T) {
+	var b strings.Builder
+	if err := HeatMap(&b, 4, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("no dims should render nothing, got %q", b.String())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var b strings.Builder
+	if err := Histogram(&b, nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no samples") {
+		t.Fatal("empty message missing")
+	}
+	b.Reset()
+	samples := make([]int64, 0, 100)
+	for i := int64(0); i < 100; i++ {
+		samples = append(samples, i)
+	}
+	if err := Histogram(&b, samples, 10); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), "\n") != 10 {
+		t.Fatalf("rows:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "#") {
+		t.Fatal("no bars drawn")
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if err := Histogram(&strings.Builder{}, []int64{1}, 0); err == nil {
+		t.Fatal("0 bins accepted")
+	}
+}

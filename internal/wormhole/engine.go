@@ -1,0 +1,621 @@
+// Package wormhole implements the wormhole-switching half of the wave router:
+// switch S0, its virtual channels with credit-based link-level flow control,
+// and the wormhole routing control unit (Figure 1 of the paper). Messages
+// advance flit by flit, holding the channels they occupy and blocking in
+// place on contention — exactly the behaviour whose contention cost motivates
+// wave switching.
+//
+// The engine is cycle-driven. Each cycle performs the classic router stages:
+// route computation for header flits, virtual-channel allocation, switch
+// allocation (one flit per physical link per cycle), and link traversal with
+// a one-cycle link delay. Arbitration uses rotating round-robin priority, so
+// the simulation is deterministic yet starvation-free.
+//
+// Simplifications relative to hardware, documented per DESIGN.md: credits
+// return instantaneously (zero-cycle credit path), and injection queues are
+// unbounded source queues (latency is measured from injection time, so
+// source queueing is visible in the numbers, not hidden).
+package wormhole
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/flit"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Params configures the wormhole engine.
+type Params struct {
+	// NumVCs is the number of virtual channels per physical channel (the
+	// paper's w). The routing function must agree.
+	NumVCs int
+	// BufDepth is the per-VC input buffer depth in flits.
+	BufDepth int
+	// CreditDelay is the number of cycles a credit takes to travel back to
+	// the upstream router. Zero (the default) models the instantaneous
+	// credit path documented in DESIGN.md; positive values let experiments
+	// ablate that simplification — with shallow buffers a delayed credit
+	// path throttles each virtual channel to BufDepth/(1+CreditDelay)
+	// flits per cycle.
+	CreditDelay int
+	// RouteDelay is the extra cycles a header flit spends in route
+	// computation at every router before it may request an output virtual
+	// channel. Zero models a single-cycle router. The paper's section 1
+	// names this cost explicitly — "virtual channels and adaptive routing
+	// make the router more complex, increasing node delay" — and experiment
+	// E15 uses RouteDelay to weigh routing sophistication against per-hop
+	// latency.
+	RouteDelay int
+}
+
+// DefaultParams returns the configuration used throughout the paper-shaped
+// experiments: 2 virtual channels with 4-flit buffers.
+func DefaultParams() Params { return Params{NumVCs: 2, BufDepth: 4} }
+
+func (p Params) validate() error {
+	if p.NumVCs < 1 {
+		return fmt.Errorf("wormhole: NumVCs must be >= 1, got %d", p.NumVCs)
+	}
+	if p.BufDepth < 1 {
+		return fmt.Errorf("wormhole: BufDepth must be >= 1, got %d", p.BufDepth)
+	}
+	if p.CreditDelay < 0 {
+		return fmt.Errorf("wormhole: CreditDelay must be >= 0, got %d", p.CreditDelay)
+	}
+	if p.RouteDelay < 0 {
+		return fmt.Errorf("wormhole: RouteDelay must be >= 0, got %d", p.RouteDelay)
+	}
+	return nil
+}
+
+// Hooks are the engine's upcalls.
+type Hooks struct {
+	// Delivered fires when a message's tail flit is consumed at its
+	// destination.
+	Delivered func(m flit.Message, now int64)
+	// Progress fires whenever at least one flit moved this cycle; the
+	// watchdog consumes it.
+	Progress func()
+}
+
+// pendingCredit is one credit travelling back upstream.
+type pendingCredit struct {
+	ch int32
+	at int64
+}
+
+// vcPhase is the lifecycle of an input virtual channel.
+type vcPhase uint8
+
+const (
+	vcIdle    vcPhase = iota // no message
+	vcRouting                // header at front awaiting an output VC
+	vcActive                 // output VC allocated; flits streaming
+)
+
+// linkVC is the receive-side state of one virtual channel of one physical
+// link, owned by the link's sink router.
+type linkVC struct {
+	buf     *buffer.FIFO
+	phase   vcPhase
+	outLink topology.LinkID // Invalid means local delivery
+	outVC   int
+	// rcWait counts remaining route-computation cycles for the header at the
+	// front of the buffer (see Params.RouteDelay).
+	rcWait int
+	// curMsg is the message currently traversing this VC (valid while phase
+	// is routing/active); recovery uses it to release aborted allocations.
+	curMsg flit.MsgID
+}
+
+// injPort is a node's injection interface: an unbounded source queue of
+// messages plus the progress of the message currently being injected. It
+// behaves as one more input port of the router with NumVCs virtual queues
+// collapsed into one (one flit per cycle may be injected per node).
+type injPort struct {
+	queue   []flit.Message
+	sent    int // flits of queue[0] already injected
+	phase   vcPhase
+	outLink topology.LinkID
+	outVC   int
+	rcWait  int
+}
+
+// Engine simulates wormhole switching over an entire network.
+type Engine struct {
+	topo  topology.Topology
+	fn    routing.Func
+	prm   Params
+	hooks Hooks
+
+	// Dense state, indexed by channel = int(link)*NumVCs + vc.
+	in      []linkVC
+	credits []int // upstream view of downstream buffer space
+	// outOwner maps each channel to the global input port currently granted
+	// it, or -1. Input ports: [0, numLinkInputs) are link channels (same
+	// index space as `in`); [numLinkInputs, +nodes) are injection ports.
+	outOwner []int32
+
+	inj []injPort
+
+	inFlight map[flit.MsgID]flit.Message
+	rr       int // rotating arbitration offset
+
+	// Counters for stats.
+	FlitsMoved     int64
+	FlitsDelivered int64
+	MsgsDelivered  int64
+	// LinkFlits counts flits traversed per physical link slot (utilization).
+	LinkFlits []int64
+
+	// flitProbe, when set (tests only), observes every delivered flit.
+	flitProbe func(flit.Flit)
+
+	// creditQueue holds credits in flight back to their upstream routers
+	// (only used when CreditDelay > 0); entries are appended in firing-time
+	// order, so draining pops a prefix.
+	creditQueue []pendingCredit
+
+	// recovery is non-nil when abort-and-retry deadlock recovery is enabled.
+	recovery *recoveryState
+	// now mirrors the cycle passed to Cycle, for recovery bookkeeping.
+	now int64
+
+	// Scratch reused across cycles.
+	cands        []routing.Candidate
+	outLinkBusy  []bool
+	inPortBusy   []bool
+	arrivalsCh   []int32 // channel index receiving a flit this cycle
+	arrivalsFlit []flit.Flit
+}
+
+// New constructs an engine for the topology and routing function.
+func New(topo topology.Topology, fn routing.Func, prm Params, hooks Hooks) (*Engine, error) {
+	if err := prm.validate(); err != nil {
+		return nil, err
+	}
+	if fn.NumVCs() != prm.NumVCs {
+		return nil, fmt.Errorf("wormhole: routing function uses %d VCs but params say %d", fn.NumVCs(), prm.NumVCs)
+	}
+	nch := topo.NumLinkSlots() * prm.NumVCs
+	e := &Engine{
+		topo:        topo,
+		fn:          fn,
+		prm:         prm,
+		hooks:       hooks,
+		in:          make([]linkVC, nch),
+		credits:     make([]int, nch),
+		outOwner:    make([]int32, nch),
+		inj:         make([]injPort, topo.Nodes()),
+		inFlight:    make(map[flit.MsgID]flit.Message),
+		outLinkBusy: make([]bool, topo.NumLinkSlots()),
+		inPortBusy:  make([]bool, topo.NumLinkSlots()+topo.Nodes()),
+		LinkFlits:   make([]int64, topo.NumLinkSlots()),
+	}
+	for i := range e.in {
+		e.in[i].buf = buffer.NewFIFO(prm.BufDepth)
+		e.in[i].outLink = topology.Invalid
+		e.credits[i] = prm.BufDepth
+		e.outOwner[i] = -1
+	}
+	for i := range e.inj {
+		e.inj[i].outLink = topology.Invalid
+	}
+	return e, nil
+}
+
+// channel index helpers.
+func (e *Engine) ch(link topology.LinkID, vc int) int { return int(link)*e.prm.NumVCs + vc }
+
+// numLinkInputs returns the size of the link-channel input port space.
+func (e *Engine) numLinkInputs() int { return len(e.in) }
+
+// injInput returns the global input-port index of node n's injection port.
+func (e *Engine) injInput(n topology.Node) int32 { return int32(e.numLinkInputs() + int(n)) }
+
+// Inject queues a message at its source node. The message's InjectTime should
+// already be set by the caller.
+func (e *Engine) Inject(m flit.Message) {
+	if m.Len <= 0 {
+		panic("wormhole: injecting empty message")
+	}
+	p := &e.inj[m.Src]
+	p.queue = append(p.queue, m)
+	if p.phase == vcIdle {
+		p.phase = vcRouting
+		p.rcWait = e.prm.RouteDelay
+	}
+	e.inFlight[m.ID] = m
+}
+
+// InFlight returns the number of messages injected but not yet delivered.
+func (e *Engine) InFlight() int { return len(e.inFlight) }
+
+// OldestAge returns the age of the oldest in-flight message.
+func (e *Engine) OldestAge(now int64) int64 {
+	var oldest int64
+	for _, m := range e.inFlight {
+		if age := now - m.InjectTime; age > oldest {
+			oldest = age
+		}
+	}
+	return oldest
+}
+
+// QueueLen returns the source-queue length at node n (including the message
+// currently being injected).
+func (e *Engine) QueueLen(n topology.Node) int { return len(e.inj[n].queue) }
+
+// Cycle advances the whole wormhole network by one clock.
+func (e *Engine) Cycle(now int64) {
+	e.now = now
+	e.stepRecovery(now)
+	e.drainCredits(now)
+	e.allocate(now)
+	e.switchAndTraverse(now)
+	e.commitArrivals()
+	e.rr++
+}
+
+// returnCredit gives one buffer slot back to the channel's upstream router,
+// either immediately or after the configured credit-path delay.
+func (e *Engine) returnCredit(ch int32, now int64) {
+	if e.prm.CreditDelay == 0 {
+		e.credits[ch]++
+		return
+	}
+	e.creditQueue = append(e.creditQueue, pendingCredit{ch: ch, at: now + int64(e.prm.CreditDelay)})
+}
+
+// drainCredits applies every credit whose travel time has elapsed.
+func (e *Engine) drainCredits(now int64) {
+	i := 0
+	for ; i < len(e.creditQueue) && e.creditQueue[i].at <= now; i++ {
+		e.credits[e.creditQueue[i].ch]++
+	}
+	if i > 0 {
+		e.creditQueue = e.creditQueue[i:]
+	}
+}
+
+// allocate runs route computation + VC allocation for every input holding a
+// header. Ports are visited in rotating order; allocation is greedy and
+// sequential, which is deterministic and fair over time.
+func (e *Engine) allocate(now int64) {
+	total := e.numLinkInputs() + len(e.inj)
+	for i := 0; i < total; i++ {
+		port := (i + e.rr) % total
+		if port < e.numLinkInputs() {
+			e.allocateLinkVC(int32(port))
+		} else {
+			e.allocateInjection(topology.Node(port - e.numLinkInputs()))
+		}
+	}
+}
+
+// headerAt resolves routing for a header at `here` and claims an output
+// channel. Returns (outLink, outVC, ok).
+func (e *Engine) claimOutput(here topology.Node, dst int, inLink topology.LinkID, inVC int, owner int32) (topology.LinkID, int, bool) {
+	e.cands = e.fn.Candidates(here, topology.Node(dst), inLink, inVC, e.cands[:0])
+	for _, c := range e.cands {
+		idx := e.ch(c.Link, c.VC)
+		if e.outOwner[idx] == -1 {
+			e.outOwner[idx] = owner
+			return c.Link, c.VC, true
+		}
+	}
+	return topology.Invalid, 0, false
+}
+
+func (e *Engine) allocateLinkVC(port int32) {
+	v := &e.in[port]
+	if v.phase != vcRouting {
+		return
+	}
+	head, ok := v.buf.Front()
+	if !ok {
+		return // header not yet arrived
+	}
+	if !head.Kind.IsHead() {
+		panic(fmt.Sprintf("wormhole: routing phase with non-head flit %v at front", head.Kind))
+	}
+	if v.rcWait > 0 {
+		v.rcWait--
+		return
+	}
+	link := topology.LinkID(int(port) / e.prm.NumVCs)
+	inVC := int(port) % e.prm.NumVCs
+	l, okL := e.topo.LinkByID(link)
+	if !okL {
+		panic("wormhole: flit on non-existent link")
+	}
+	here := l.To
+	if int(here) == head.Dst {
+		v.phase = vcActive
+		v.outLink = topology.Invalid // deliver locally
+		v.curMsg = head.Msg
+		return
+	}
+	if outLink, outVC, claimed := e.claimOutput(here, head.Dst, link, inVC, port); claimed {
+		v.phase = vcActive
+		v.outLink = outLink
+		v.outVC = outVC
+		v.curMsg = head.Msg
+	}
+}
+
+func (e *Engine) allocateInjection(n topology.Node) {
+	p := &e.inj[n]
+	if p.phase != vcRouting || len(p.queue) == 0 {
+		return
+	}
+	if p.rcWait > 0 {
+		p.rcWait--
+		return
+	}
+	m := p.queue[0]
+	if m.Dst == int(n) {
+		p.phase = vcActive
+		p.outLink = topology.Invalid // self-send delivers locally
+		return
+	}
+	if outLink, outVC, claimed := e.claimOutput(n, m.Dst, topology.Invalid, 0, e.injInput(n)); claimed {
+		p.phase = vcActive
+		p.outLink = outLink
+		p.outVC = outVC
+	}
+}
+
+// switchAndTraverse runs switch allocation and link traversal: at most one
+// flit crosses each output physical link and leaves each input port per
+// cycle, subject to downstream credits.
+func (e *Engine) switchAndTraverse(now int64) {
+	for i := range e.outLinkBusy {
+		e.outLinkBusy[i] = false
+	}
+	for i := range e.inPortBusy {
+		e.inPortBusy[i] = false
+	}
+	e.arrivalsCh = e.arrivalsCh[:0]
+	e.arrivalsFlit = e.arrivalsFlit[:0]
+
+	total := e.numLinkInputs() + len(e.inj)
+	for i := 0; i < total; i++ {
+		port := (i + e.rr) % total
+		if port < e.numLinkInputs() {
+			e.traverseLinkVC(int32(port), now)
+		} else {
+			e.traverseInjection(topology.Node(port-e.numLinkInputs()), now)
+		}
+	}
+}
+
+// sendFlit tries to move fl from input port `port` to (outLink, outVC); it
+// returns false if the physical link, input port or credits forbid it.
+func (e *Engine) sendFlit(port int32, fl flit.Flit, outLink topology.LinkID, outVC int) bool {
+	if e.inPortBusy[e.inPortIndex(port)] {
+		return false
+	}
+	if e.outLinkBusy[outLink] {
+		return false
+	}
+	idx := e.ch(outLink, outVC)
+	if e.credits[idx] == 0 {
+		return false
+	}
+	e.credits[idx]--
+	e.outLinkBusy[outLink] = true
+	e.inPortBusy[e.inPortIndex(port)] = true
+	e.arrivalsCh = append(e.arrivalsCh, int32(idx))
+	e.arrivalsFlit = append(e.arrivalsFlit, fl)
+	e.FlitsMoved++
+	e.LinkFlits[outLink]++
+	e.noteProgress(fl.Msg, e.now)
+	if e.hooks.Progress != nil {
+		e.hooks.Progress()
+	}
+	return true
+}
+
+// inPortIndex maps a global input port to its physical-port slot: all VCs of
+// one link share one physical input port; each node's injection port is its
+// own.
+func (e *Engine) inPortIndex(port int32) int {
+	if int(port) < e.numLinkInputs() {
+		return int(port) / e.prm.NumVCs
+	}
+	return e.topo.NumLinkSlots() + (int(port) - e.numLinkInputs())
+}
+
+func (e *Engine) traverseLinkVC(port int32, now int64) {
+	v := &e.in[port]
+	if v.phase != vcActive || v.buf.Empty() {
+		return
+	}
+	if e.inPortBusy[e.inPortIndex(port)] {
+		return
+	}
+	fl, _ := v.buf.Front()
+	if v.outLink == topology.Invalid {
+		// Local delivery consumes one flit per input port per cycle.
+		v.buf.Pop()
+		e.returnCredit(port, now)
+		e.inPortBusy[e.inPortIndex(port)] = true
+		e.deliverFlit(fl, now)
+		e.afterFlitLeft(v, fl, int32(port))
+		return
+	}
+	if e.sendFlit(port, fl, v.outLink, v.outVC) {
+		v.buf.Pop()
+		e.returnCredit(port, now)
+		e.afterFlitLeft(v, fl, int32(port))
+	}
+}
+
+// afterFlitLeft updates VC bookkeeping once a flit has left an input VC.
+func (e *Engine) afterFlitLeft(v *linkVC, fl flit.Flit, port int32) {
+	if !fl.Kind.IsTail() {
+		return
+	}
+	// Tail gone: release the output VC and recycle this input VC.
+	if v.outLink != topology.Invalid {
+		e.outOwner[e.ch(v.outLink, v.outVC)] = -1
+	}
+	v.outLink = topology.Invalid
+	v.outVC = 0
+	v.curMsg = 0
+	if v.buf.Empty() {
+		v.phase = vcIdle
+	} else {
+		v.phase = vcRouting // next message's header is already queued
+		v.rcWait = e.prm.RouteDelay
+	}
+}
+
+func (e *Engine) traverseInjection(n topology.Node, now int64) {
+	p := &e.inj[n]
+	if p.phase != vcActive || len(p.queue) == 0 {
+		return
+	}
+	m := p.queue[0]
+	fl := flitOf(m, p.sent)
+	port := e.injInput(n)
+	if p.outLink == topology.Invalid {
+		// Self-send: deliver directly.
+		if e.inPortBusy[e.inPortIndex(port)] {
+			return
+		}
+		e.inPortBusy[e.inPortIndex(port)] = true
+		p.sent++
+		e.deliverFlit(fl, now)
+		if e.hooks.Progress != nil {
+			e.hooks.Progress()
+		}
+		e.FlitsMoved++
+		e.afterInjectionFlit(p, fl)
+		return
+	}
+	if e.sendFlit(port, fl, p.outLink, p.outVC) {
+		p.sent++
+		e.afterInjectionFlit(p, fl)
+	}
+}
+
+func (e *Engine) afterInjectionFlit(p *injPort, fl flit.Flit) {
+	if !fl.Kind.IsTail() {
+		return
+	}
+	if p.outLink != topology.Invalid {
+		e.outOwner[e.ch(p.outLink, p.outVC)] = -1
+	}
+	p.queue = p.queue[1:]
+	p.sent = 0
+	p.outLink = topology.Invalid
+	p.outVC = 0
+	if len(p.queue) == 0 {
+		p.phase = vcIdle
+	} else {
+		p.phase = vcRouting
+		p.rcWait = e.prm.RouteDelay
+	}
+}
+
+// flitOf materialises flit i of message m without storing whole messages as
+// flit slices.
+func flitOf(m flit.Message, i int) flit.Flit {
+	k := flit.Body
+	switch {
+	case m.Len == 1:
+		k = flit.HeadTail
+	case i == 0:
+		k = flit.Head
+	case i == m.Len-1:
+		k = flit.Tail
+	}
+	return flit.Flit{Kind: k, Msg: m.ID, Src: m.Src, Dst: m.Dst, Seq: i}
+}
+
+func (e *Engine) deliverFlit(fl flit.Flit, now int64) {
+	e.FlitsDelivered++
+	if e.flitProbe != nil {
+		e.flitProbe(fl)
+	}
+	if !fl.Kind.IsTail() {
+		return
+	}
+	m, ok := e.inFlight[fl.Msg]
+	if !ok {
+		panic(fmt.Sprintf("wormhole: delivered unknown message %d", fl.Msg))
+	}
+	delete(e.inFlight, fl.Msg)
+	if e.recovery != nil {
+		delete(e.recovery.lastProgress, fl.Msg)
+		delete(e.recovery.retries, fl.Msg)
+	}
+	e.MsgsDelivered++
+	if e.hooks.Delivered != nil {
+		e.hooks.Delivered(m, now)
+	}
+}
+
+// commitArrivals pushes this cycle's traversing flits into their downstream
+// buffers; doing it after all movement decisions models the one-cycle link
+// delay (a flit cannot cross two links in one cycle).
+func (e *Engine) commitArrivals() {
+	for i, ch := range e.arrivalsCh {
+		if !e.in[ch].buf.Push(e.arrivalsFlit[i]) {
+			panic("wormhole: buffer overflow despite credit check")
+		}
+		if e.in[ch].phase == vcIdle {
+			e.in[ch].phase = vcRouting
+			e.in[ch].rcWait = e.prm.RouteDelay
+		}
+	}
+}
+
+// Quiesce reports whether the engine holds no work at all (used by drain
+// loops in tests and experiments).
+func (e *Engine) Quiesce() bool { return len(e.inFlight) == 0 }
+
+// DebugDump prints internal engine state for stuck-network diagnosis. It is
+// test-only scaffolding.
+func (e *Engine) DebugDump() {
+	fmt.Println("=== wormhole debug dump ===")
+	for id, m := range e.inFlight {
+		fmt.Printf("in-flight msg %d: src=%d dst=%d len=%d\n", id, m.Src, m.Dst, m.Len)
+	}
+	for i := range e.in {
+		v := &e.in[i]
+		if v.phase == vcIdle && v.buf.Empty() {
+			continue
+		}
+		link := topology.LinkID(i / e.prm.NumVCs)
+		vc := i % e.prm.NumVCs
+		l, _ := e.topo.LinkByID(link)
+		front, ok := v.buf.Front()
+		fmt.Printf("linkVC link=%d(%d->%d) vc=%d phase=%d buflen=%d front=%+v(%v) out=(%d,%d)\n",
+			link, l.From, l.To, vc, v.phase, v.buf.Len(), front, ok, v.outLink, v.outVC)
+		if v.outLink != topology.Invalid {
+			fmt.Printf("  outOwner=%d credits=%d\n", e.outOwner[e.ch(v.outLink, v.outVC)], e.credits[e.ch(v.outLink, v.outVC)])
+		}
+	}
+	for n := range e.inj {
+		p := &e.inj[n]
+		if p.phase == vcIdle && len(p.queue) == 0 {
+			continue
+		}
+		fmt.Printf("inj node=%d phase=%d queue=%d sent=%d out=(%d,%d)\n", n, p.phase, len(p.queue), p.sent, p.outLink, p.outVC)
+		if p.outLink != topology.Invalid {
+			fmt.Printf("  outOwner=%d credits=%d\n", e.outOwner[e.ch(p.outLink, p.outVC)], e.credits[e.ch(p.outLink, p.outVC)])
+		}
+	}
+	for ch, owner := range e.outOwner {
+		if owner != -1 {
+			link := topology.LinkID(ch / e.prm.NumVCs)
+			l, _ := e.topo.LinkByID(link)
+			fmt.Printf("outOwner ch=%d link=%d(%d->%d) vc=%d owner=%d credits=%d\n", ch, link, l.From, l.To, ch%e.prm.NumVCs, owner, e.credits[ch])
+		}
+	}
+}

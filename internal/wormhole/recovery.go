@@ -1,0 +1,235 @@
+package wormhole
+
+// Deadlock recovery by abort-and-retry (compressionless-routing style, the
+// alternative the paper's related work contrasts with avoidance): when a
+// message makes no progress for RecoveryTimeout cycles while holding network
+// resources, every one of its flits is removed from the network, its channel
+// reservations and buffer slots are released (resolving any deadlock cycle it
+// participates in), and the whole message is re-injected at its source after
+// a deterministic per-message backoff. This permits deliberately unsafe
+// routing functions (routing.DORNoDateline) whose dependency graphs are
+// cyclic — deadlocks then actually form and are actually broken.
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/flit"
+	"repro/internal/topology"
+)
+
+// RecoveryParams tunes abort-and-retry. The zero value disables recovery.
+type RecoveryParams struct {
+	// Timeout is the progress-free cycles a message may hold network
+	// resources before being aborted. Zero disables recovery.
+	Timeout int64
+	// MaxBackoff caps the deterministic retry delay.
+	MaxBackoff int64
+}
+
+// recoveryState is the engine's per-run recovery bookkeeping.
+type recoveryState struct {
+	prm RecoveryParams
+	// lastProgress is the cycle any flit of the message last moved.
+	lastProgress map[flit.MsgID]int64
+	// retries drives the per-message backoff.
+	retries map[flit.MsgID]int
+	// parked holds aborted messages waiting out their backoff; parkedIDs
+	// guards against aborting a message that is already out of the network.
+	parked    []parkedMsg
+	parkedIDs map[flit.MsgID]bool
+
+	// Aborts counts recovery events.
+	Aborts int64
+}
+
+type parkedMsg struct {
+	msg     flit.Message
+	readyAt int64
+}
+
+// EnableRecovery switches abort-and-retry on. It must be called before any
+// traffic is injected.
+func (e *Engine) EnableRecovery(prm RecoveryParams) error {
+	if prm.Timeout <= 0 {
+		return fmt.Errorf("wormhole: recovery timeout must be positive, got %d", prm.Timeout)
+	}
+	if prm.MaxBackoff <= 0 {
+		prm.MaxBackoff = prm.Timeout * 8
+	}
+	e.recovery = &recoveryState{
+		prm:          prm,
+		lastProgress: make(map[flit.MsgID]int64),
+		retries:      make(map[flit.MsgID]int),
+		parkedIDs:    make(map[flit.MsgID]bool),
+	}
+	return nil
+}
+
+// RecoveryAborts returns the abort count (0 when recovery is disabled).
+func (e *Engine) RecoveryAborts() int64 {
+	if e.recovery == nil {
+		return 0
+	}
+	return e.recovery.Aborts
+}
+
+// noteProgress records flit movement for the recovery timer.
+func (e *Engine) noteProgress(id flit.MsgID, now int64) {
+	if e.recovery != nil {
+		e.recovery.lastProgress[id] = now
+	}
+}
+
+// stepRecovery runs at the start of each cycle: re-inject parked messages
+// whose backoff elapsed and abort messages that timed out.
+func (e *Engine) stepRecovery(now int64) {
+	r := e.recovery
+	if r == nil {
+		return
+	}
+	// Reinjection.
+	kept := r.parked[:0]
+	for _, p := range r.parked {
+		if p.readyAt <= now {
+			port := &e.inj[p.msg.Src]
+			port.queue = append(port.queue, p.msg)
+			if port.phase == vcIdle {
+				port.phase = vcRouting
+				port.rcWait = e.prm.RouteDelay
+			}
+			r.lastProgress[p.msg.ID] = now
+			delete(r.parkedIDs, p.msg.ID)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	r.parked = kept
+
+	// Timeout scan. Only messages holding network resources are aborted; a
+	// message still entirely in its source queue holds nothing and cannot be
+	// part of a deadlock.
+	for id, m := range e.inFlight {
+		if r.parkedIDs[id] {
+			continue // already out of the network, waiting out its backoff
+		}
+		last, seen := r.lastProgress[id]
+		if !seen {
+			r.lastProgress[id] = now
+			continue
+		}
+		if now-last <= r.prm.Timeout {
+			continue
+		}
+		if !e.holdsNetworkResources(m) {
+			r.lastProgress[id] = now // nothing to free; keep waiting
+			continue
+		}
+		e.abort(m, now)
+	}
+}
+
+// holdsNetworkResources reports whether any flit of m occupies a channel
+// buffer or the message is mid-injection.
+func (e *Engine) holdsNetworkResources(m flit.Message) bool {
+	p := &e.inj[m.Src]
+	for qi, qm := range p.queue {
+		if qm.ID == m.ID {
+			return qi == 0 && p.sent > 0
+		}
+	}
+	// Not in the source queue at all: its flits are in the network.
+	return true
+}
+
+// abort removes every flit of m from the network, releases its channel
+// state, and parks the message for a deterministic backoff.
+func (e *Engine) abort(m flit.Message, now int64) {
+	r := e.recovery
+	r.Aborts++
+
+	// 1. Scrub link VC buffers.
+	for ch := range e.in {
+		v := &e.in[ch]
+		removed := e.removeMsgFlits(v.buf, m.ID)
+		if removed > 0 {
+			e.credits[ch] += removed
+		}
+		// If this VC was carrying m (its current message), release its
+		// output allocation and recycle the VC for whatever is behind.
+		if v.phase != vcIdle && v.curMsg == m.ID {
+			if v.outLink != topology.Invalid {
+				e.outOwner[e.ch(v.outLink, v.outVC)] = -1
+			}
+			v.outLink = topology.Invalid
+			v.outVC = 0
+			v.curMsg = 0
+			if v.buf.Empty() {
+				v.phase = vcIdle
+			} else {
+				v.phase = vcRouting
+				v.rcWait = e.prm.RouteDelay
+			}
+		}
+	}
+
+	// 2. Source injection port.
+	p := &e.inj[m.Src]
+	for qi, qm := range p.queue {
+		if qm.ID != m.ID {
+			continue
+		}
+		if qi == 0 {
+			if p.outLink != topology.Invalid {
+				e.outOwner[e.ch(p.outLink, p.outVC)] = -1
+			}
+			p.outLink = topology.Invalid
+			p.outVC = 0
+			p.sent = 0
+		}
+		p.queue = append(p.queue[:qi], p.queue[qi+1:]...)
+		if len(p.queue) == 0 {
+			p.phase = vcIdle
+		} else if qi == 0 {
+			p.phase = vcRouting
+			p.rcWait = e.prm.RouteDelay
+		}
+		break
+	}
+
+	// 3. Park with deterministic, message-staggered backoff (identical
+	// simultaneous retries would re-collide forever).
+	tries := r.retries[m.ID]
+	r.retries[m.ID] = tries + 1
+	backoff := r.prm.Timeout/2 + int64(tries)*r.prm.Timeout + int64(m.ID%13)*3
+	if backoff > r.prm.MaxBackoff {
+		backoff = r.prm.MaxBackoff
+	}
+	r.parked = append(r.parked, parkedMsg{msg: m, readyAt: now + backoff})
+	r.parkedIDs[m.ID] = true
+	delete(r.lastProgress, m.ID)
+	if e.hooks.Progress != nil {
+		e.hooks.Progress() // an abort is forward progress for the watchdog
+	}
+}
+
+// removeMsgFlits deletes all flits of msg from the FIFO, preserving the
+// order of everything else, and returns the count removed.
+func (e *Engine) removeMsgFlits(buf *buffer.FIFO, msg flit.MsgID) int {
+	n := buf.Len()
+	removed := 0
+	for i := 0; i < n; i++ {
+		fl, ok := buf.Pop()
+		if !ok {
+			break
+		}
+		if fl.Msg == msg {
+			removed++
+			continue
+		}
+		if !buf.Push(fl) {
+			panic("wormhole: refill overflow during abort scrub")
+		}
+	}
+	return removed
+}

@@ -1,0 +1,171 @@
+package wave
+
+import (
+	"testing"
+)
+
+func closedCfg(protocol string) Config {
+	cfg := DefaultConfig()
+	cfg.Topology = TopologyConfig{Kind: "torus", Radix: []int{4, 4}}
+	cfg.Protocol = protocol
+	return cfg
+}
+
+func TestClosedLoopValidation(t *testing.T) {
+	s, err := New(closedCfg("clrp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []ClosedWorkload{
+		{Pattern: "uniform", ReqFlits: 0, ReplyFlits: 8, Outstanding: 1, Requests: 1},
+		{Pattern: "uniform", ReqFlits: 4, ReplyFlits: 0, Outstanding: 1, Requests: 1},
+		{Pattern: "uniform", ReqFlits: 4, ReplyFlits: 8, Outstanding: 0, Requests: 1},
+		{Pattern: "uniform", ReqFlits: 4, ReplyFlits: 8, Outstanding: 1, Requests: 0},
+		{Pattern: "uniform", ReqFlits: 4, ReplyFlits: 8, Outstanding: 1, Requests: 1, ThinkCycles: -1},
+		{Pattern: "zipf", ReqFlits: 4, ReplyFlits: 8, Outstanding: 1, Requests: 1},
+	}
+	for i, w := range bad {
+		if _, err := s.RunClosedLoop(w, 1000); err == nil {
+			t.Fatalf("bad workload %d accepted", i)
+		}
+	}
+}
+
+func TestClosedLoopCompletesAllProtocols(t *testing.T) {
+	for _, proto := range []string{"wormhole", "clrp", "pcs"} {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			s, err := New(closedCfg(proto))
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := ClosedWorkload{
+				Pattern: "near", ReqFlits: 4, ReplyFlits: 32,
+				Outstanding: 2, Requests: 20,
+				WorkingSet: 2, Reuse: 0.9, WantCircuit: true,
+			}
+			res, err := s.RunClosedLoop(w, 2_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Completed != int64(20*s.Nodes()) {
+				t.Fatalf("completed %d of %d", res.Completed, 20*s.Nodes())
+			}
+			if res.AvgRoundTrip <= 0 || res.Rate <= 0 {
+				t.Fatalf("degenerate result: %+v", res)
+			}
+			if proto == "wormhole" && res.CircuitFraction != 0 {
+				t.Fatal("wormhole used circuits")
+			}
+			if proto == "clrp" && res.CircuitFraction == 0 {
+				t.Fatal("clrp never used circuits")
+			}
+		})
+	}
+}
+
+func TestClosedLoopOutstandingThrottles(t *testing.T) {
+	// More outstanding requests per node raise the completion rate (classic
+	// closed-loop behaviour) until the network saturates.
+	rate := func(outstanding int) float64 {
+		s, err := New(closedCfg("wormhole"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.RunClosedLoop(ClosedWorkload{
+			Pattern: "uniform", ReqFlits: 4, ReplyFlits: 16,
+			Outstanding: outstanding, Requests: 30,
+		}, 2_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rate
+	}
+	r1, r4 := rate(1), rate(4)
+	if r4 <= r1 {
+		t.Fatalf("rate with 4 outstanding (%.5f) not above 1 outstanding (%.5f)", r4, r1)
+	}
+}
+
+func TestClosedLoopThinkTimeSlowsRate(t *testing.T) {
+	run := func(think int) float64 {
+		s, err := New(closedCfg("wormhole"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.RunClosedLoop(ClosedWorkload{
+			Pattern: "near", ReqFlits: 4, ReplyFlits: 8,
+			Outstanding: 1, Requests: 20, ThinkCycles: think,
+		}, 2_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rate
+	}
+	if fast, slow := run(0), run(100); slow >= fast {
+		t.Fatalf("think time did not slow the rate: %.5f vs %.5f", slow, fast)
+	}
+}
+
+func TestClosedLoopSelfMappingPattern(t *testing.T) {
+	// Bit-reversal maps some nodes to themselves; those requests complete
+	// locally and the run still terminates.
+	s, err := New(closedCfg("wormhole"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunClosedLoop(ClosedWorkload{
+		Pattern: "bitreverse", ReqFlits: 4, ReplyFlits: 8,
+		Outstanding: 2, Requests: 10,
+	}, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != int64(10*s.Nodes()) {
+		t.Fatalf("completed %d", res.Completed)
+	}
+}
+
+func TestClosedLoopDeterministic(t *testing.T) {
+	sig := func() string {
+		s, err := New(closedCfg("clrp"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.RunClosedLoop(ClosedWorkload{
+			Pattern: "near", ReqFlits: 4, ReplyFlits: 32,
+			Outstanding: 2, Requests: 15, WorkingSet: 2, Reuse: 0.8, WantCircuit: true,
+		}, 2_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.String()
+	}
+	if a, b := sig(), sig(); a != b {
+		t.Fatalf("closed loop not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+// TestClosedLoopCLRPBeatsWormholeWithLocality is the DSM headline in closed
+// form: with hot home sets, circuit reuse shortens round trips.
+func TestClosedLoopCLRPBeatsWormholeWithLocality(t *testing.T) {
+	run := func(protocol string) float64 {
+		s, err := New(closedCfg(protocol))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.RunClosedLoop(ClosedWorkload{
+			Pattern: "near", ReqFlits: 4, ReplyFlits: 64,
+			Outstanding: 2, Requests: 40,
+			WorkingSet: 2, Reuse: 0.95, WantCircuit: true,
+		}, 5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgRoundTrip
+	}
+	wh, cl := run("wormhole"), run("clrp")
+	if cl >= wh {
+		t.Fatalf("clrp rtt %.1f not below wormhole %.1f under 95%% locality", cl, wh)
+	}
+}

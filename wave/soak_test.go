@@ -1,0 +1,93 @@
+package wave
+
+// Large-scale soak tests, skipped under -short: a 16x16 torus (256 nodes,
+// 1024 links) under sustained CLRP traffic, and a long mixed-protocol session
+// on one process. These catch scaling bugs (quadratic scans, leaks) that
+// 4x4 unit tests cannot.
+
+import (
+	"testing"
+)
+
+func TestSoak16x16CLRP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; run without -short")
+	}
+	cfg := DefaultConfig()
+	cfg.Topology = TopologyConfig{Kind: "torus", Radix: []int{16, 16}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunLoad(Workload{
+		Pattern: "near", Load: 0.10, FixedLength: 64,
+		WorkingSet: 3, Reuse: 0.85, WantCircuit: true,
+	}, 2000, 15000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered < 1000 {
+		t.Fatalf("soak delivered only %d messages", res.Delivered)
+	}
+	if res.CircuitFraction < 0.5 {
+		t.Fatalf("soak circuit fraction %.2f suspiciously low", res.CircuitFraction)
+	}
+	if s.InFlight() != 0 {
+		t.Fatal("soak left messages in flight")
+	}
+}
+
+func TestSoakLongSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; run without -short")
+	}
+	// One simulator, many back-to-back runs: state from one phase must not
+	// corrupt the next (caches persist deliberately; queues must not).
+	cfg := DefaultConfig()
+	cfg.Topology = TopologyConfig{Kind: "torus", Radix: []int{8, 8}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastDelivered int64
+	for phase := 0; phase < 5; phase++ {
+		w := Workload{
+			Pattern: "uniform", Load: 0.05 + 0.03*float64(phase), FixedLength: 16 + 16*phase,
+			WorkingSet: 2 + phase, Reuse: 0.8, WantCircuit: true,
+			Seed: uint64(100 + phase),
+		}
+		res, err := s.RunLoad(w, 500, 4000)
+		if err != nil {
+			t.Fatalf("phase %d: %v", phase, err)
+		}
+		if res.Delivered == 0 {
+			t.Fatalf("phase %d delivered nothing", phase)
+		}
+		lastDelivered = res.Delivered
+	}
+	if lastDelivered == 0 || s.InFlight() != 0 {
+		t.Fatal("long session left residue")
+	}
+}
+
+func TestSoakClosedLoop16x16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; run without -short")
+	}
+	cfg := DefaultConfig()
+	cfg.Topology = TopologyConfig{Kind: "torus", Radix: []int{16, 16}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunClosedLoop(ClosedWorkload{
+		Pattern: "near", ReqFlits: 4, ReplyFlits: 32,
+		Outstanding: 2, Requests: 30, WorkingSet: 2, Reuse: 0.9, WantCircuit: true,
+	}, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != int64(30*s.Nodes()) {
+		t.Fatalf("completed %d", res.Completed)
+	}
+}

@@ -1,0 +1,214 @@
+package wave
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// randomFaults adapts the fault package (kept out of simulator.go to keep
+// the public surface tight).
+func randomFaults(topo topology.Topology, numSwitches, count int, seed uint64) (fault.Plan, error) {
+	return fault.RandomChannels(topo, numSwitches, count, seed)
+}
+
+// Workload describes synthetic open-loop traffic for RunLoad.
+type Workload struct {
+	// Pattern is "uniform", "transpose", "bitreverse", "bitcomplement",
+	// "tornado", "neighbor" or "hotspot".
+	Pattern string
+
+	// Load is the applied load in flits per node per cycle.
+	Load float64
+
+	// FixedLength, if nonzero, fixes every message at that many flits.
+	FixedLength int
+	// Bimodal short/long mix, used when FixedLength is zero and BimodalLong
+	// is nonzero.
+	BimodalShort, BimodalLong int
+	BimodalPLong              float64
+
+	// Locality, when WorkingSet > 0, wraps the pattern with per-node working
+	// sets: with probability Reuse a message goes to the working set,
+	// redrawn every RedrawPeriod messages (0 = never).
+	WorkingSet   int
+	Reuse        float64
+	RedrawPeriod int
+
+	// WantCircuit is passed to Send (CARP compiler decision).
+	WantCircuit bool
+
+	// Seed for the traffic stream; 0 borrows the simulator seed + 1.
+	Seed uint64
+}
+
+func (w Workload) lengthDist() (traffic.LengthDist, error) {
+	switch {
+	case w.FixedLength > 0:
+		return traffic.Fixed{L: w.FixedLength}, nil
+	case w.BimodalLong > 0:
+		return traffic.Bimodal{Short: w.BimodalShort, Long: w.BimodalLong, PLong: w.BimodalPLong}, nil
+	default:
+		return nil, fmt.Errorf("wave: workload needs FixedLength or Bimodal* lengths")
+	}
+}
+
+// Result summarises a measured run.
+type Result struct {
+	Protocol string
+	Workload Workload
+
+	// Cycles actually simulated (warmup + measurement).
+	Cycles int64
+	// Delivered messages inside the measurement window.
+	Delivered int64
+
+	AvgLatency float64
+	P50Latency float64
+	P95Latency float64
+	P99Latency float64
+	MaxLatency float64
+
+	// Throughput is accepted flits per node per cycle.
+	Throughput float64
+
+	// CircuitFraction is the share of measured messages carried by circuits.
+	CircuitFraction float64
+	// AvgCircuitLatency / AvgWormholeLatency split by substrate (0 if none).
+	AvgCircuitLatency  float64
+	AvgWormholeLatency float64
+
+	// HitRate is the aggregate circuit-cache hit rate.
+	HitRate float64
+	// AvgSetupCycles is the mean successful circuit-setup latency.
+	AvgSetupCycles float64
+	// AvgCircuitWait is the mean time a circuit-carried message spent between
+	// Send and its transfer starting (setup plus queueing behind the in-use
+	// circuit) — the latency-breakdown companion to AvgCircuitLatency.
+	AvgCircuitWait float64
+	// RecoveryAborts counts wormhole abort-and-retry events (0 unless
+	// Config.RecoveryTimeout is set).
+	RecoveryAborts int64
+	// Reallocs counts endpoint-buffer re-allocations (0 unless
+	// Config.InitialBufFlits is set; CLRP only).
+	Reallocs int64
+
+	Counters ProbeCounters
+}
+
+// String renders a one-line digest.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: lat=%.1f (p99=%.0f) thr=%.4f circ=%.0f%% hit=%.0f%%",
+		r.Protocol, r.AvgLatency, r.P99Latency, r.Throughput,
+		r.CircuitFraction*100, r.HitRate*100)
+}
+
+// RunLoad drives the simulator with open-loop traffic: `warmup` cycles to
+// reach steady state (deliveries excluded), then `measure` cycles of
+// recorded traffic, then a drain so every injected message completes. It
+// returns aggregate statistics. The simulator must be freshly constructed
+// (cycle 0) for meaningful warm-up handling.
+func (s *Simulator) RunLoad(w Workload, warmup, measure int64) (*Result, error) {
+	pat, err := traffic.NewPattern(w.Pattern, s.topo)
+	if err != nil {
+		return nil, err
+	}
+	if w.WorkingSet > 0 {
+		pat, err = traffic.NewLocality(pat, s.topo.Nodes(), w.WorkingSet, w.Reuse, w.RedrawPeriod)
+		if err != nil {
+			return nil, err
+		}
+	}
+	dist, err := w.lengthDist()
+	if err != nil {
+		return nil, err
+	}
+	seed := w.Seed
+	if seed == 0 {
+		seed = s.cfg.Seed + 1
+	}
+	gen, err := traffic.NewGenerator(pat, dist, w.Load, s.topo.Nodes(), seed)
+	if err != nil {
+		return nil, err
+	}
+
+	run := stats.NewRun(s.now + warmup)
+	prev := s.onDelivered // chain, don't clobber, a user callback
+	s.OnDelivered(func(d Delivery) {
+		run.Record(d.Injected, d.Delivered, d.Len, d.ViaCircuit)
+		if prev != nil {
+			prev(d)
+		}
+	})
+	defer s.OnDelivered(prev)
+
+	end := s.now + warmup + measure
+	for s.now < end {
+		gen.Tick(func(src, dst topology.Node, length int) {
+			s.mgr.Send(src, dst, length, s.now, w.WantCircuit)
+		})
+		if err := s.Step(); err != nil {
+			return nil, err
+		}
+	}
+	// Drain with a generous budget so tail latencies are complete.
+	if err := s.Drain((warmup + measure) * 20); err != nil {
+		return nil, err
+	}
+
+	cs := s.CacheStats()
+	ctr := s.mgr.Ctr
+	res := &Result{
+		Protocol:           s.cfg.Protocol,
+		Workload:           w,
+		Cycles:             s.now,
+		Delivered:          run.MsgsDelivered,
+		AvgLatency:         run.Latency.Mean(),
+		P50Latency:         run.Latency.Percentile(50),
+		P95Latency:         run.Latency.Percentile(95),
+		P99Latency:         run.Latency.Percentile(99),
+		MaxLatency:         run.Latency.Max(),
+		Throughput:         run.Throughput(s.topo.Nodes()),
+		AvgCircuitLatency:  run.CircuitLatency.Mean(),
+		AvgWormholeLatency: run.WormholeLatency.Mean(),
+		HitRate:            cs.HitRate(),
+		RecoveryAborts:     s.mgr.Fab.WH.RecoveryAborts(),
+		Reallocs:           s.mgr.Fab.Reallocs,
+		Counters:           s.ProbeCounters(),
+	}
+	if run.MsgsDelivered > 0 {
+		res.CircuitFraction = float64(run.CircuitLatency.N()) / float64(run.MsgsDelivered)
+	}
+	if ctr.SetupsOK > 0 {
+		res.AvgSetupCycles = float64(ctr.SetupCyclesTotal) / float64(ctr.SetupsOK)
+	}
+	if ctr.CircuitSendsStarted > 0 {
+		res.AvgCircuitWait = float64(ctr.CircuitWaitCycles) / float64(ctr.CircuitSendsStarted)
+	}
+	return res, nil
+}
+
+// OpenAll issues CARP OpenCircuit for every (src, dst) pair a locality
+// working set would hit — a helper for CARP workloads where the "compiler"
+// knows the communication pattern. It opens one circuit per node toward its
+// pattern destination (deterministic patterns only).
+func (s *Simulator) OpenAll(patternName string) error {
+	pat, err := traffic.NewPattern(patternName, s.topo)
+	if err != nil {
+		return err
+	}
+	switch pat.(type) {
+	case traffic.Uniform, traffic.Hotspot:
+		return fmt.Errorf("wave: OpenAll needs a deterministic pattern, got %q", patternName)
+	}
+	for n := 0; n < s.topo.Nodes(); n++ {
+		dst := pat.Pick(topology.Node(n), nil)
+		if int(dst) != n {
+			s.OpenCircuit(n, int(dst))
+		}
+	}
+	return nil
+}
