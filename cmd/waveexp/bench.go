@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/wave"
+)
+
+// benchRun is one measured engine configuration in the -bench-json output.
+type benchRun struct {
+	Name            string  `json:"name"`
+	Workers         int     `json:"workers"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	Cycles          int64   `json:"cycles"`
+	CyclesPerSecond float64 `json:"cycles_per_second"`
+	Delivered       int64   `json:"delivered_messages"`
+	Throughput      float64 `json:"throughput_flits_node_cycle"`
+	AvgLatency      float64 `json:"avg_latency_cycles"`
+	P99Latency      float64 `json:"p99_latency_cycles"`
+}
+
+// benchReport is the machine-readable artifact -bench-json writes; the seed
+// trajectory lives in BENCH_*.json files at the repo root.
+type benchReport struct {
+	Benchmark  string `json:"benchmark"`
+	Generated  string `json:"generated"`
+	GoMaxProcs int    `json:"go_maxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+
+	Topology string  `json:"topology"`
+	Protocol string  `json:"protocol"`
+	Pattern  string  `json:"pattern"`
+	Load     float64 `json:"load_flits_node_cycle"`
+	MsgFlits int     `json:"message_flits"`
+	Warmup   int64   `json:"warmup_cycles"`
+	Measure  int64   `json:"measure_cycles"`
+	Seed     uint64  `json:"seed"`
+
+	Runs []benchRun `json:"runs"`
+	// Speedup is parallel cycles/s over serial cycles/s. On a single-CPU
+	// host the workers cannot overlap, so this hovers near 1; StatsIdentical
+	// still certifies the determinism contract.
+	Speedup        float64 `json:"speedup_parallel_over_serial"`
+	StatsIdentical bool    `json:"stats_identical"`
+	Note           string  `json:"note,omitempty"`
+}
+
+// benchConfig is the E7-style 16x16 stress configuration: near-saturation
+// hotspot CLRP traffic with maximal cache churn, the heaviest sustained
+// per-cycle work the suite has.
+func benchConfig(seed uint64) (wave.Config, wave.Workload) {
+	cfg := wave.DefaultConfig()
+	cfg.Topology = wave.TopologyConfig{Kind: "torus", Radix: []int{16, 16}}
+	cfg.CacheCapacity = 2
+	cfg.Seed = seed
+	w := wave.Workload{
+		Pattern: "hotspot", Load: 0.25, FixedLength: 32,
+		WorkingSet: 4, Reuse: 0.7, WantCircuit: true,
+	}
+	return cfg, w
+}
+
+// runBenchJSON measures the serial and parallel cycle engines on the stress
+// run, verifies their Stats match, and writes the JSON report to path
+// ("-" = stdout).
+func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, measure int64) error {
+	if workers < 2 {
+		workers = 4
+	}
+	cfg, w := benchConfig(seed)
+
+	measureOne := func(name string, nw int) (benchRun, wave.Stats, error) {
+		c := cfg
+		c.Workers = nw
+		s, err := wave.New(c)
+		if err != nil {
+			return benchRun{}, wave.Stats{}, err
+		}
+		defer s.Close()
+		start := time.Now()
+		res, err := s.RunLoad(w, warmup, measure)
+		if err != nil {
+			return benchRun{}, wave.Stats{}, fmt.Errorf("%s: %w", name, err)
+		}
+		wall := time.Since(start).Seconds()
+		st := s.Stats()
+		return benchRun{
+			Name:            name,
+			Workers:         nw,
+			WallSeconds:     wall,
+			Cycles:          st.Cycle,
+			CyclesPerSecond: float64(st.Cycle) / wall,
+			Delivered:       res.Delivered,
+			Throughput:      res.Throughput,
+			AvgLatency:      res.AvgLatency,
+			P99Latency:      res.P99Latency,
+		}, st, nil
+	}
+
+	serial, serialStats, err := measureOne("serial", 1)
+	if err != nil {
+		return err
+	}
+	parallel, parallelStats, err := measureOne("parallel", workers)
+	if err != nil {
+		return err
+	}
+
+	rep := benchReport{
+		Benchmark:      "e7-stress-16x16",
+		Generated:      time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		Topology:       "torus 16x16",
+		Protocol:       cfg.Protocol,
+		Pattern:        w.Pattern,
+		Load:           w.Load,
+		MsgFlits:       w.FixedLength,
+		Warmup:         warmup,
+		Measure:        measure,
+		Seed:           seed,
+		Runs:           []benchRun{serial, parallel},
+		Speedup:        parallel.CyclesPerSecond / serial.CyclesPerSecond,
+		StatsIdentical: serialStats == parallelStats,
+	}
+	if runtime.NumCPU() == 1 {
+		rep.Note = "single-CPU host: workers cannot overlap, so parallel speedup hovers near 1.0; stats_identical still certifies the determinism contract"
+	}
+	if !rep.StatsIdentical {
+		return fmt.Errorf("bench: serial and parallel Stats diverged — determinism bug")
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if path == "-" {
+		_, err = out.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bench: %s — %.0f cycles/s serial, %.0f cycles/s parallel (%d workers), speedup %.2fx, stats identical: %v\n",
+		path, serial.CyclesPerSecond, parallel.CyclesPerSecond, workers, rep.Speedup, rep.StatsIdentical)
+	return nil
+}

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -46,6 +48,10 @@ func run(args []string, out io.Writer) error {
 		policy    = fs.String("replace", "lru", "replacement policy: lru, lfu, random")
 		recovery  = fs.Int64("recovery", 0, "abort-and-retry deadlock recovery timeout in cycles (0 = off)")
 		seed      = fs.Uint64("seed", 1, "RNG seed (identical seeds => identical runs)")
+		workers   = fs.Int("workers", 1, "cycle-engine workers (results are identical for any value)")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 
 		pattern = fs.String("pattern", "uniform", "traffic pattern: uniform, transpose, bitreverse, bitcomplement, tornado, neighbor, hotspot")
 		load    = fs.Float64("load", 0.1, "applied load in flits/node/cycle")
@@ -79,6 +85,29 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows live objects
+			pprof.WriteHeapProfile(f)
+			f.Close()
+		}()
+	}
+
 	cfg := wave.DefaultConfig()
 	cfg.Protocol = *proto
 	cfg.Routing = *routing
@@ -92,6 +121,7 @@ func run(args []string, out io.Writer) error {
 	cfg.MinCircuitFlits = *minCirc
 	cfg.RecoveryTimeout = *recovery
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	switch *topoKind {
 	case "hypercube":
 		cfg.Topology = wave.TopologyConfig{Kind: "hypercube", Dims: *hyperDims}
@@ -107,6 +137,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	defer sim.Close()
 	if *faults > 0 {
 		if err := sim.InjectFaults(*faults, *seed+99); err != nil {
 			return err
@@ -272,6 +303,7 @@ func runCompare(out io.Writer, cfg wave.Config, w wave.Workload, warmup, measure
 			return err
 		}
 		res, err := sim.RunLoad(w, warmup, measure)
+		sim.Close()
 		if err != nil {
 			return fmt.Errorf("%s: %w", proto, err)
 		}

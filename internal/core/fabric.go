@@ -20,11 +20,12 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/circuit"
+	"repro/internal/engine"
 	"repro/internal/flit"
 	"repro/internal/pcs"
 	"repro/internal/routing"
@@ -82,6 +83,11 @@ type Params struct {
 	WindowFlits int
 	// Seed drives every random decision in the fabric.
 	Seed uint64
+	// Workers sets the worker count of the parallel cycle engine
+	// (internal/engine). 0 or 1 runs the original serial cycle; higher values
+	// run each cycle's compute half concurrently while keeping results
+	// bit-identical to the serial engine for the same seed.
+	Workers int
 }
 
 // DefaultParams is the baseline configuration of the experiments: w=3 VCs of
@@ -134,33 +140,6 @@ type Hooks struct {
 	Progress func()
 }
 
-// event is a scheduled fabric action (circuit delivery, window ack).
-type event struct {
-	at  int64
-	seq int64
-	fn  func(now int64)
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
-
 // Fabric is the whole-network wave-switching substrate.
 type Fabric struct {
 	Topo topology.Topology
@@ -172,9 +151,12 @@ type Fabric struct {
 	caches []*circuit.Cache
 	rng    *sim.RNG
 
-	events   eventQueue
-	eventSeq int64
-	now      int64
+	// events holds scheduled fabric actions (circuit deliveries, window
+	// acks), sharded by source node; pool is the worker pool of the parallel
+	// cycle engine (nil in serial mode).
+	events *engine.ShardedEvents
+	pool   *engine.Pool
+	now    int64
 
 	// transfersInFlight counts circuit messages between send and delivery.
 	transfersInFlight int
@@ -200,11 +182,16 @@ func New(topo topology.Topology, prm Params, hooks Hooks) (*Fabric, error) {
 	if err != nil {
 		return nil, err
 	}
+	workers := prm.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	f := &Fabric{
 		Topo:           topo,
 		Prm:            prm,
 		hooks:          hooks,
 		rng:            sim.NewRNG(prm.Seed),
+		events:         engine.NewShardedEvents(workers),
 		transferInject: make(map[flit.MsgID]int64),
 		WaveLinkFlits:  make([]int64, topo.NumLinkSlots()),
 	}
@@ -238,7 +225,23 @@ func New(topo topology.Topology, prm Params, hooks Hooks) (*Fabric, error) {
 		}
 		f.caches[i] = circuit.NewCache(prm.CacheCapacity, pol)
 	}
+	if workers > 1 {
+		f.pool = engine.NewPool(workers)
+		f.WH.SetParallel(workers)
+		f.PCS.SetParallel(workers)
+		// Safety net for callers that drop the fabric without Close: the pool's
+		// helper goroutines otherwise outlive it.
+		runtime.SetFinalizer(f, (*Fabric).Close)
+	}
 	return f, nil
+}
+
+// Close releases the worker pool. Safe to call repeatedly, and a no-op for
+// serial fabrics.
+func (f *Fabric) Close() {
+	if f.pool != nil {
+		f.pool.Close()
+	}
 }
 
 func (f *Fabric) progress() {
@@ -254,21 +257,40 @@ func (f *Fabric) Cache(n topology.Node) *circuit.Cache { return f.caches[n] }
 func (f *Fabric) Now() int64 { return f.now }
 
 // Cycle advances everything by one wormhole clock.
+//
+// In parallel mode the cycle is split: after the serial event commit and the
+// wormhole prologue, the compute half of both engines — the wormhole port
+// scan with its route computations, and the PCS probe decisions — fans out
+// over the worker pool (one barrier each); the engines then commit serially
+// in exactly the serial engine's effect order, so the outcome is
+// bit-identical to Workers=1 for the same seed (see internal/engine).
 func (f *Fabric) Cycle(now int64) {
 	f.now = now
-	for len(f.events) > 0 && f.events[0].at <= now {
-		ev := heap.Pop(&f.events).(*event)
-		ev.fn(now)
+	for _, ev := range f.events.PopDue(now) {
+		ev.Fn(now)
 		f.progress()
 	}
-	f.WH.Cycle(now)
-	f.PCS.Cycle(now)
+	if f.pool == nil {
+		f.WH.Cycle(now)
+		f.PCS.Cycle(now)
+		return
+	}
+	f.WH.BeginCycle(now)
+	f.pool.Run(f.WH.NumPorts(), 256, func(worker, lo, hi int) {
+		f.WH.PrepareRange(worker, lo, hi)
+	})
+	probes := f.PCS.PrepareCount()
+	f.pool.Run(probes, 8, func(worker, lo, hi int) {
+		f.PCS.PrepareRange(now, worker, lo, hi)
+	})
+	f.WH.CommitCycle(now)
+	f.PCS.CommitCycle(now)
 }
 
-// schedule queues fn to run at cycle `at` (at must be > now).
-func (f *Fabric) schedule(at int64, fn func(now int64)) {
-	f.eventSeq++
-	heap.Push(&f.events, &event{at: at, seq: f.eventSeq, fn: fn})
+// schedule queues fn to run at cycle `at` (at must be > now) on the shard of
+// node n.
+func (f *Fabric) schedule(n topology.Node, at int64, fn func(now int64)) {
+	f.events.Schedule(int(n), at, fn)
 }
 
 // InjectWormhole sends a message through switch S0.
@@ -334,7 +356,7 @@ func (f *Fabric) SendOnCircuit(entry *circuit.Entry, m flit.Message, onIdle func
 		f.WaveLinkFlits[ch.Link] += int64(m.Len)
 	}
 
-	f.schedule(deliverAt, func(now int64) {
+	f.schedule(topology.Node(m.Src), deliverAt, func(now int64) {
 		f.transfersInFlight--
 		delete(f.transferInject, m.ID)
 		f.CircuitMsgsDelivered++
@@ -343,7 +365,7 @@ func (f *Fabric) SendOnCircuit(entry *circuit.Entry, m flit.Message, onIdle func
 			f.hooks.DeliveredCircuit(m, now)
 		}
 	})
-	f.schedule(ackAt, func(int64) {
+	f.schedule(topology.Node(m.Src), ackAt, func(int64) {
 		entry.InUse = false
 		if onIdle != nil {
 			onIdle()

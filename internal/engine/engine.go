@@ -1,0 +1,47 @@
+// Package engine provides the deterministic parallel cycle engine that the
+// fabric (internal/core) runs on when more than one worker is configured.
+//
+// The simulator's update loop is already structured as compute/commit phases:
+// every cycle first derives decisions from the cycle-start state (route
+// candidates, probe output enumeration, movability), then applies them in a
+// canonical order (rotating port order for wormhole arbitration, launch order
+// for probes, (at, seq) order for scheduled events). This package supplies
+// the three concurrency building blocks that exploit that structure without
+// changing a single observable bit:
+//
+//   - Pool: a fixed worker pool executing the *compute* half of a cycle over
+//     a sharded index space with one barrier per phase. Compute work is pure
+//     with respect to shared state — each item reads the cycle-start snapshot
+//     and writes only its own scratch — so chunks may be dealt to workers
+//     dynamically (atomic counter) and the result is still independent of
+//     both the worker count and the scheduling order.
+//
+//   - ShardedEvents: per-shard scheduled-event queues (typed min-heaps, no
+//     boxing) replacing the fabric's former single global heap. Events are
+//     keyed by the node that scheduled them; at commit the due events of all
+//     shards are merged deterministically by (at, seq) — exactly the pop
+//     order of the old global heap.
+//
+//   - Streams: per-node RNG streams split from the run seed via splitmix64
+//     (sim.RNG.Split), so any per-node randomness is independent of the
+//     iteration order of the parallel phase.
+//
+// The determinism contract (see DESIGN.md §5): for the same Config and seed,
+// a run with Workers: N is bit-identical to the serial Workers: 1 run, for
+// every N. The serial engine remains the Workers: 1 fallback and doubles as
+// the ground truth the cross-check tests in package wave compare against.
+package engine
+
+import "repro/internal/sim"
+
+// Streams derives n independent deterministic child generators from parent,
+// one per node (or shard), in index order. Stream i is the same no matter how
+// many workers later consume it, which is what makes per-node randomness
+// reproducible under parallel execution.
+func Streams(parent *sim.RNG, n int) []*sim.RNG {
+	out := make([]*sim.RNG, n)
+	for i := range out {
+		out[i] = parent.Split()
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestPoolCoversEveryIndexOnce checks the chunk dealer visits each index
+// exactly once, for several worker counts and grains.
+func TestPoolCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			for _, grain := range []int{1, 3, 64, 2000} {
+				p := NewPool(workers)
+				counts := make([]int32, n)
+				p.Run(n, grain, func(_, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&counts[i], 1)
+					}
+				})
+				p.Close()
+				for i, c := range counts {
+					if c != 1 {
+						t.Fatalf("workers=%d n=%d grain=%d: index %d visited %d times", workers, n, grain, i, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPoolDeterministicUnderWorkerCount runs a compute phase writing
+// per-item scratch and checks the result is bit-identical across worker
+// counts — the core contract the fabric relies on.
+func TestPoolDeterministicUnderWorkerCount(t *testing.T) {
+	const n = 5000
+	compute := func(workers int) []uint64 {
+		p := NewPool(workers)
+		defer p.Close()
+		out := make([]uint64, n)
+		p.Run(n, 16, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				r := sim.NewRNG(uint64(i) * 0x9e3779b97f4a7c15)
+				out[i] = r.Uint64() ^ r.Uint64()
+			}
+		})
+		return out
+	}
+	want := compute(1)
+	for _, workers := range []int{2, 4, 7} {
+		got := compute(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: item %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestPoolWorkerIndexInRange checks the worker index passed to fn is always
+// a valid per-worker-scratch index.
+func TestPoolWorkerIndexInRange(t *testing.T) {
+	const workers = 4
+	p := NewPool(workers)
+	defer p.Close()
+	var bad atomic.Int32
+	p.Run(10000, 8, func(w, lo, hi int) {
+		if w < 0 || w >= workers {
+			bad.Store(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker index out of [0, Workers())")
+	}
+}
+
+// TestPoolRepeatedRuns exercises the barrier across many phases — the soak
+// the -race CI job leans on.
+func TestPoolRepeatedRuns(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	shared := make([]int64, 256)
+	for cycle := 0; cycle < 2000; cycle++ {
+		// Compute phase: read-only on shared, write per-item scratch.
+		scratch := make([]int64, len(shared))
+		p.Run(len(shared), 16, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				scratch[i] = shared[i] + 1
+			}
+		})
+		// Commit phase: serial canonical-order writes.
+		copy(shared, scratch)
+	}
+	for i, v := range shared {
+		if v != 2000 {
+			t.Fatalf("slot %d = %d after 2000 cycles, want 2000", i, v)
+		}
+	}
+}
+
+func TestPoolNilAndClosedBehaviour(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", p.Workers())
+	}
+	ran := false
+	p.Run(3, 1, func(_, lo, hi int) { ran = true })
+	if !ran {
+		t.Fatal("nil pool did not run inline")
+	}
+	p.Close() // must not panic
+
+	q := NewPool(3)
+	q.Close()
+	q.Close() // idempotent
+}
+
+// TestShardedEventsMatchesGlobalOrder schedules a pseudo-random workload into
+// differently-sharded stores and checks every configuration pops the exact
+// global (At, Seq) order of a 1-shard (i.e. single-heap) store.
+func TestShardedEventsMatchesGlobalOrder(t *testing.T) {
+	type fired struct{ at, seq int64 }
+	run := func(shards int) []fired {
+		s := NewShardedEvents(shards)
+		r := sim.NewRNG(42)
+		var got []fired
+		now := int64(0)
+		pending := 0
+		for now < 400 || pending > 0 {
+			if now < 400 {
+				for i := 0; i < 5; i++ {
+					at := now + 1 + int64(r.Intn(17))
+					node := r.Intn(64)
+					seq := s.seq + 1
+					s.Schedule(node, at, func(int64) { got = append(got, fired{at, seq}) })
+					pending++
+				}
+			}
+			for _, ev := range s.PopDue(now) {
+				ev.Fn(now)
+				pending--
+			}
+			now++
+		}
+		if s.Len() != 0 {
+			t.Fatalf("shards=%d: %d events left", shards, s.Len())
+		}
+		return got
+	}
+	want := run(1)
+	for _, shards := range []int{2, 4, 16} {
+		got := run(shards)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: fired %d events, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: event %d fired as %+v, want %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardedEventsScheduleDuringFire checks events scheduled from a firing
+// handler (always strictly in the future) are deferred to a later PopDue.
+func TestShardedEventsScheduleDuringFire(t *testing.T) {
+	s := NewShardedEvents(4)
+	var order []int
+	s.Schedule(0, 1, func(now int64) {
+		order = append(order, 1)
+		s.Schedule(1, now+1, func(int64) { order = append(order, 2) })
+	})
+	for now := int64(1); now <= 2; now++ {
+		for _, ev := range s.PopDue(now) {
+			ev.Fn(now)
+		}
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("fire order = %v, want [1 2]", order)
+	}
+}
+
+// TestStreamsDeterministic checks per-node streams depend only on the parent
+// seed and the node index.
+func TestStreamsDeterministic(t *testing.T) {
+	a := Streams(sim.NewRNG(7), 16)
+	b := Streams(sim.NewRNG(7), 16)
+	for i := range a {
+		for k := 0; k < 8; k++ {
+			if a[i].Uint64() != b[i].Uint64() {
+				t.Fatalf("stream %d diverged at draw %d", i, k)
+			}
+		}
+	}
+	c := Streams(sim.NewRNG(7), 16)
+	d := Streams(sim.NewRNG(8), 16)
+	same := 0
+	for i := range c {
+		if c[i].Uint64() == d[i].Uint64() {
+			same++
+		}
+	}
+	if same == len(c) {
+		t.Fatal("streams identical across different parent seeds")
+	}
+}

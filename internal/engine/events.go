@@ -1,0 +1,120 @@
+package engine
+
+import "sort"
+
+// Event is one scheduled fabric action (circuit delivery, window ack, ...).
+type Event struct {
+	At  int64
+	Seq int64
+	Fn  func(now int64)
+}
+
+// eventHeap is a typed min-heap ordered by (At, Seq). It replaces the old
+// container/heap implementation and its interface{} boxing.
+type eventHeap []*Event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].Seq < h[j].Seq
+}
+
+func (h *eventHeap) push(e *Event) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+func (h *eventHeap) pop() *Event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	*h = q
+	return top
+}
+
+// ShardedEvents is the fabric's scheduled-event store, sharded so that each
+// shard holds the events of a disjoint subset of nodes. Scheduling carries a
+// single global sequence number; PopDue merges the due events of every shard
+// by (At, Seq), which reproduces the pop order of a single global heap no
+// matter how the events are distributed across shards.
+type ShardedEvents struct {
+	shards []eventHeap
+	seq    int64
+	size   int
+	due    []*Event // scratch reused across cycles
+}
+
+// NewShardedEvents creates a store with `shards` shards (minimum 1).
+func NewShardedEvents(shards int) *ShardedEvents {
+	if shards < 1 {
+		shards = 1
+	}
+	return &ShardedEvents{shards: make([]eventHeap, shards)}
+}
+
+// Shards returns the shard count.
+func (s *ShardedEvents) Shards() int { return len(s.shards) }
+
+// Len returns the number of pending events across all shards.
+func (s *ShardedEvents) Len() int { return s.size }
+
+// Schedule queues fn on `shard` to run at cycle `at`. The caller guarantees
+// at is strictly in the future; commit-time handlers may therefore schedule
+// freely without re-entering the current cycle's merge.
+func (s *ShardedEvents) Schedule(shard int, at int64, fn func(now int64)) {
+	s.seq++
+	s.shards[shard%len(s.shards)].push(&Event{At: at, Seq: s.seq, Fn: fn})
+	s.size++
+}
+
+// PopDue removes and returns every event with At <= now, ordered by
+// (At, Seq). The returned slice is reused by the next call; callers must not
+// retain it. Events scheduled while iterating the result land in the shard
+// heaps and are not observed until a later PopDue.
+func (s *ShardedEvents) PopDue(now int64) []*Event {
+	s.due = s.due[:0]
+	for i := range s.shards {
+		for len(s.shards[i]) > 0 && s.shards[i][0].At <= now {
+			s.due = append(s.due, s.shards[i].pop())
+			s.size--
+		}
+	}
+	if len(s.shards) > 1 && len(s.due) > 1 {
+		sort.Slice(s.due, func(i, j int) bool {
+			if s.due[i].At != s.due[j].At {
+				return s.due[i].At < s.due[j].At
+			}
+			return s.due[i].Seq < s.due[j].Seq
+		})
+	}
+	return s.due
+}

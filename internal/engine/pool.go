@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// job is one barrier-delimited parallel phase: the index space [0, n) dealt
+// out in chunks of `grain` via an atomic cursor.
+type job struct {
+	fn    func(worker, lo, hi int)
+	n     int
+	grain int
+	next  atomic.Int64
+	wg    sync.WaitGroup
+}
+
+// work consumes chunks until the cursor passes n.
+func (j *job) work(worker int) {
+	g := int64(j.grain)
+	for {
+		lo := j.next.Add(g) - g
+		if lo >= int64(j.n) {
+			return
+		}
+		hi := int(lo) + j.grain
+		if hi > j.n {
+			hi = j.n
+		}
+		j.fn(worker, int(lo), hi)
+	}
+}
+
+// Pool is a fixed set of workers executing compute phases. The calling
+// goroutine acts as worker 0, so a Pool of W workers owns W-1 goroutines;
+// they park between phases and exit on Close. A nil Pool and a 1-worker Pool
+// both degrade to inline serial execution.
+type Pool struct {
+	workers int
+	helpers []chan *job
+	close   sync.Once
+}
+
+// NewPool creates a pool of `workers` workers (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	for w := 1; w < workers; w++ {
+		ch := make(chan *job, 1)
+		p.helpers = append(p.helpers, ch)
+		go func(worker int, ch chan *job) {
+			for j := range ch {
+				j.work(worker)
+				j.wg.Done()
+			}
+		}(w, ch)
+	}
+	return p
+}
+
+// Workers returns the configured worker count (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Run executes fn over the index space [0, n) split into chunks of `grain`
+// and returns after every index has been processed (the phase barrier).
+// fn(worker, lo, hi) must treat shared simulation state as read-only and
+// write only scratch owned by the items [lo, hi) or by `worker`
+// (0 <= worker < Workers()); under that contract the results are identical
+// for every worker count and chunk schedule.
+func (p *Pool) Run(n, grain int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if p == nil || p.workers == 1 || n <= grain {
+		fn(0, 0, n)
+		return
+	}
+	j := &job{fn: fn, n: n, grain: grain}
+	j.wg.Add(len(p.helpers))
+	for _, ch := range p.helpers {
+		ch <- j
+	}
+	j.work(0)
+	j.wg.Wait()
+}
+
+// Close releases the helper goroutines. Idempotent; Run must not be called
+// after Close.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.close.Do(func() {
+		for _, ch := range p.helpers {
+			close(ch)
+		}
+	})
+}

@@ -27,6 +27,10 @@ type Params struct {
 	Warmup, Measure int64
 	// Seed is the base RNG seed.
 	Seed uint64
+	// Workers is the per-simulator cycle-engine worker count (see
+	// wave.Config.Workers); 0 or 1 runs each simulator serially. Results are
+	// identical either way — the parallel engine is bit-deterministic.
+	Workers int
 }
 
 // Defaults returns the full-size parameters used for EXPERIMENTS.md.
@@ -85,6 +89,7 @@ func baseConfig(p Params) wave.Config {
 	cfg := wave.DefaultConfig()
 	cfg.Topology = wave.TopologyConfig{Kind: "torus", Radix: []int{p.Radix, p.Radix}}
 	cfg.Seed = p.Seed
+	cfg.Workers = p.Workers
 	return cfg
 }
 
@@ -94,6 +99,7 @@ func runOne(cfg wave.Config, w wave.Workload, p Params) (*wave.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer s.Close()
 	return s.RunLoad(w, p.Warmup, p.Measure)
 }
 
@@ -219,6 +225,7 @@ func E2LoadSweep(p Params) (*Report, error) {
 		if err != nil {
 			return err
 		}
+		defer s.Close()
 		if protos[pi] == "carp" {
 			// The compiler opens circuits for each node's working set lazily:
 			// CARP sends to unopened destinations use wormhole; to keep the
@@ -385,6 +392,7 @@ func E5Misroute(p Params) (*Report, error) {
 		if err != nil {
 			return err
 		}
+		defer s.Close()
 		res, rerr := s.RunLoad(w, p.Warmup, p.Measure)
 		if rerr != nil {
 			return fmt.Errorf("e5 m=%d: %w", ms[i], rerr)
@@ -498,6 +506,7 @@ func E7Stress(p Params) (*Report, error) {
 		if err != nil {
 			return err
 		}
+		defer s.Close()
 		res, rerr := s.RunLoad(w, p.Warmup, p.Measure)
 		if rerr != nil {
 			return fmt.Errorf("e7 %s: %w (deadlock/livelock?)", protos[i], rerr)
@@ -542,6 +551,7 @@ func E8Faults(p Params) (*Report, error) {
 		if err != nil {
 			return err
 		}
+		defer s.Close()
 		if ferr := s.InjectFaults(counts[i], p.Seed+uint64(i)*17); ferr != nil {
 			return ferr
 		}
@@ -612,6 +622,7 @@ func E9Ablation(p Params) (*Report, error) {
 		if err != nil {
 			return err
 		}
+		defer s.Close()
 		res, rerr := s.RunLoad(w, p.Warmup, p.Measure)
 		if rerr != nil {
 			return fmt.Errorf("e9 %s: %w", variants[i].name, rerr)
@@ -837,6 +848,7 @@ func E13ClosedLoop(p Params) (*Report, error) {
 		if err != nil {
 			return err
 		}
+		defer s.Close()
 		res, rerr := s.RunClosedLoop(wave.ClosedWorkload{
 			Pattern: "near", ReqFlits: 4, ReplyFlits: 64,
 			Outstanding: outs[oi], Requests: requests,
@@ -1070,6 +1082,7 @@ func E17CacheCapacity(p Params) (*Report, error) {
 		if err != nil {
 			return err
 		}
+		defer s.Close()
 		res, rerr := s.RunLoad(w, p.Warmup, p.Measure)
 		if rerr != nil {
 			return fmt.Errorf("e17 cap=%d: %w", caps[i], rerr)
@@ -1188,6 +1201,7 @@ func E19EndpointBuffers(p Params) (*Report, error) {
 		if err != nil {
 			return err
 		}
+		defer s.Close()
 		if configs[i].proto == "carp" {
 			for n := 0; n < s.Nodes(); n++ {
 				for _, nb := range s.Neighbors(n) {

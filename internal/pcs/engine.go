@@ -180,7 +180,17 @@ type probe struct {
 	waitingFor       Channel
 	waitingOwner     int64 // circuit ID expected to release waitingFor
 
-	visited  []topology.Node // nodes whose history store holds our entries
+	// hist is this probe's slice of the distributed History Store: the mask
+	// of outputs already searched, by node. Only the probe's own step touches
+	// it, which is what lets the parallel compute phase read it lock-free.
+	hist map[topology.Node]uint32
+
+	// opts is the per-cycle output enumeration, reused across cycles.
+	opts []outOption
+	// prep is the decision precomputed by the parallel compute phase (see
+	// parallel.go); ignored by the serial engine.
+	prep prepState
+
 	launched int64
 	done     func(SetupResult)
 }
@@ -219,13 +229,28 @@ type Engine struct {
 	ackRet []bool
 
 	// Direct/Reverse Channel Mappings: input channel key -> output channel
-	// key and inverse. Source and destination hops have no entry.
-	directMap  map[int32]int32
-	reverseMap map[int32]int32
+	// key and inverse, dense per wave channel (-1 = no entry). Source and
+	// destination hops have no entry.
+	directMap  []int32
+	reverseMap []int32
 
-	// History Store: (node, probe) -> bitmask of searched outputs (bit =
-	// dim*2+dir). Distributed across routers in hardware; one map here.
-	history map[histKey]uint32
+	// touched[k] is the prep generation (see prepGen) in which channel k's
+	// status or owner last changed; the parallel commit validates precomputed
+	// decisions against it. Nil when the engine runs serially (SetParallel).
+	touched []int64
+	// prepGen increments at every PrepareCount. A decision conflicts exactly
+	// when one of its read channels carries the current generation — i.e. was
+	// mutated after the compute phase began, whether by the wormhole half's
+	// delivery hooks or by an earlier commit in this cycle. Cycle numbers
+	// cannot play this role: hook-driven teardowns fire before the engine's
+	// clock advances to the new cycle.
+	prepGen int64
+
+	// scratch holds per-worker buffers for the outputs enumeration; index 0
+	// doubles as the serial path's scratch.
+	scratch []outScratch
+	// prepList is the probe snapshot being prepared this cycle.
+	prepList []*probe
 
 	probes    []*probe
 	acks      []*ack
@@ -244,11 +269,6 @@ type Engine struct {
 	now int64
 }
 
-type histKey struct {
-	node  topology.Node
-	probe flit.ProbeID
-}
-
 // New constructs the engine.
 func New(topo topology.Topology, prm Params, host Host) (*Engine, error) {
 	if err := prm.validate(); err != nil {
@@ -258,18 +278,23 @@ func New(topo topology.Topology, prm Params, host Host) (*Engine, error) {
 		return nil, fmt.Errorf("pcs: nil host")
 	}
 	n := topo.NumLinkSlots() * prm.NumSwitches
-	return &Engine{
+	e := &Engine{
 		topo:       topo,
 		prm:        prm,
 		host:       host,
 		status:     make([]Status, n),
 		owner:      make([]int64, n),
 		ackRet:     make([]bool, n),
-		directMap:  make(map[int32]int32),
-		reverseMap: make(map[int32]int32),
-		history:    make(map[histKey]uint32),
+		directMap:  make([]int32, n),
+		reverseMap: make([]int32, n),
 		circuits:   make(map[circuit.ID]*Circuit),
-	}, nil
+		scratch:    make([]outScratch, 1),
+	}
+	for i := range e.directMap {
+		e.directMap[i] = -1
+		e.reverseMap[i] = -1
+	}
+	return e, nil
 }
 
 // key converts a Channel to its dense index.
@@ -289,8 +314,8 @@ func (e *Engine) AckReturned(c Channel) bool { return e.ackRet[e.key(c)] }
 // DirectMapping exposes the Figure 3 Direct Channel Mappings register: the
 // output channel that input channel `in` maps to at its sink router.
 func (e *Engine) DirectMapping(in Channel) (Channel, bool) {
-	k, ok := e.directMap[e.key(in)]
-	if !ok {
+	k := e.directMap[e.key(in)]
+	if k < 0 {
 		return Channel{}, false
 	}
 	return e.chanOf(k), true
@@ -298,17 +323,23 @@ func (e *Engine) DirectMapping(in Channel) (Channel, bool) {
 
 // ReverseMapping exposes the Figure 3 Reverse Channel Mappings register.
 func (e *Engine) ReverseMapping(out Channel) (Channel, bool) {
-	k, ok := e.reverseMap[e.key(out)]
-	if !ok {
+	k := e.reverseMap[e.key(out)]
+	if k < 0 {
 		return Channel{}, false
 	}
 	return e.chanOf(k), true
 }
 
 // History exposes the Figure 3 History Store: the mask of outputs already
-// searched by probe p at node n (bit dim*2+dir).
+// searched by probe p at node n (bit dim*2+dir). The store is distributed
+// across the in-flight probes; a finished probe's entries are gone.
 func (e *Engine) History(n topology.Node, p flit.ProbeID) uint32 {
-	return e.history[histKey{node: n, probe: p}]
+	for _, pr := range e.probes {
+		if pr.id == p {
+			return pr.hist[n]
+		}
+	}
+	return 0
 }
 
 // WireFields renders an in-flight probe in its Figure 4 on-the-wire form:
@@ -353,6 +384,7 @@ func (e *Engine) InjectFault(c Channel) {
 	k := e.key(c)
 	if e.status[k] == Free {
 		e.status[k] = Faulty
+		e.markTouched(k)
 	}
 }
 
@@ -431,8 +463,9 @@ func (e *Engine) stepTeardowns() {
 		e.status[k] = Free
 		e.ackRet[k] = false
 		e.owner[k] = 0
-		delete(e.reverseMap, k)
-		delete(e.directMap, k)
+		e.markTouched(k)
+		e.reverseMap[k] = -1
+		e.directMap[k] = -1
 		e.Ctr.ControlHops++
 		e.host.Progress()
 		td.next++
@@ -482,10 +515,10 @@ func (e *Engine) stepReleases() {
 			e.Ctr.ReleasesDiscarded++
 			continue
 		}
-		prev, ok := e.reverseMap[k]
+		prev := e.reverseMap[k]
 		e.Ctr.ControlHops++
 		e.host.Progress()
-		if !ok {
+		if prev < 0 {
 			// r.at is the circuit's first channel: we are at the source.
 			e.host.RequestRemoteRelease(r.circID)
 			continue
@@ -509,6 +542,7 @@ func (e *Engine) stepAcks() {
 		e.status[k] = Established
 		e.owner[k] = int64(a.circ.ID)
 		e.ackRet[k] = true
+		e.markTouched(k)
 		e.Ctr.ControlHops++
 		e.host.Progress()
 		a.pos--
@@ -576,11 +610,26 @@ func (e *Engine) stepProbe(p *probe) bool {
 		return false
 	}
 
+	// Parallel mode: apply the decision precomputed against the cycle-start
+	// state if no channel it depends on changed earlier in this commit.
+	if handled, keep := e.tryFastCommit(p); handled {
+		return keep
+	}
+
+	opts := p.opts
+	if !e.prepFresh(p) {
+		// Serial engine, or a probe launched after this cycle's compute
+		// phase: enumerate outputs now. A fresh prep's enumeration is still
+		// exact — it depends only on the probe's own position and the
+		// topology, neither of which changed since the compute phase.
+		opts = e.outputs(p, p.opts[:0], &e.scratch[0])
+		p.opts = opts
+	}
 	switch p.phase {
 	case probeAdvancing:
-		return e.probeAdvance(p)
+		return e.probeAdvance(p, opts)
 	case probeWaiting:
-		return e.probeWait(p)
+		return e.probeWait(p, opts)
 	default:
 		panic("pcs: unknown probe phase")
 	}
@@ -595,17 +644,25 @@ type outOption struct {
 	profitable bool
 }
 
-func (e *Engine) outputs(p *probe, opts []outOption) []outOption {
-	dims := e.topo.Dims()
-	offs := make([]int, dims)
-	e.topo.Offsets(p.at, p.dst, offs)
+// outScratch holds the reusable buffers one outputs() caller needs; the
+// parallel compute phase owns one per worker so enumerations never contend.
+type outScratch struct {
+	offs []int
+	mags []int
+	mis  []outOption
+	req  []outOption
+}
 
-	type scored struct {
-		opt outOption
-		mag int
+// outputs is pure with respect to shared mutable state: it reads only the
+// topology and the probe's own fields, which is what allows the parallel
+// compute phase to run it concurrently for every probe.
+func (e *Engine) outputs(p *probe, opts []outOption, sc *outScratch) []outOption {
+	dims := e.topo.Dims()
+	if cap(sc.offs) < dims {
+		sc.offs = make([]int, dims)
 	}
-	var prof []scored
-	var mis []outOption
+	offs := sc.offs[:dims]
+	e.topo.Offsets(p.at, p.dst, offs)
 
 	// The channel the probe arrived through (to exclude immediate U-turns:
 	// going back is what Backtrack is for).
@@ -621,6 +678,9 @@ func (e *Engine) outputs(p *probe, opts []outOption) []outOption {
 		}
 	}
 
+	base := len(opts)
+	mags := sc.mags[:0]
+	mis := sc.mis[:0]
 	for dim := 0; dim < dims; dim++ {
 		for _, dir := range []topology.Dir{topology.Plus, topology.Minus} {
 			link, ok := e.topo.OutLink(p.at, dim, dir)
@@ -635,25 +695,23 @@ func (e *Engine) outputs(p *probe, opts []outOption) []outOption {
 			profitable := (offs[dim] > 0 && dir == topology.Plus) || (offs[dim] < 0 && dir == topology.Minus)
 			o := outOption{ch: ch, bit: bit, profitable: profitable}
 			if profitable {
+				// Insert keeping largest remaining offset first, stable.
 				mag := offs[dim]
 				if mag < 0 {
 					mag = -mag
 				}
-				prof = append(prof, scored{opt: o, mag: mag})
+				opts = append(opts, o)
+				mags = append(mags, mag)
+				for j := len(mags) - 1; j > 0 && mags[j] > mags[j-1]; j-- {
+					mags[j], mags[j-1] = mags[j-1], mags[j]
+					opts[base+j], opts[base+j-1] = opts[base+j-1], opts[base+j]
+				}
 			} else {
 				mis = append(mis, o)
 			}
 		}
 	}
-	// Largest remaining offset first among profitable outputs.
-	for i := 1; i < len(prof); i++ {
-		for j := i; j > 0 && prof[j].mag > prof[j-1].mag; j-- {
-			prof[j], prof[j-1] = prof[j-1], prof[j]
-		}
-	}
-	for _, s := range prof {
-		opts = append(opts, s.opt)
-	}
+	sc.mags, sc.mis = mags, mis
 	return append(opts, mis...)
 }
 
@@ -662,6 +720,7 @@ func (e *Engine) takeChannel(p *probe, o outOption) {
 	k := e.key(o.ch)
 	e.status[k] = Reserved
 	e.owner[k] = int64(p.id)
+	e.markTouched(k)
 	// Record the mapping registers at the current node: the previous hop's
 	// channel maps to this one.
 	if len(p.path) > 0 {
@@ -684,25 +743,20 @@ func (e *Engine) takeChannel(p *probe, o outOption) {
 }
 
 func (e *Engine) markHistory(p *probe, bit uint32) {
-	k := histKey{node: p.at, probe: p.id}
-	if _, seen := e.history[k]; !seen {
-		p.visited = append(p.visited, p.at)
+	if p.hist == nil {
+		p.hist = make(map[topology.Node]uint32)
 	}
-	e.history[k] |= bit
+	p.hist[p.at] |= bit
 }
 
 func (e *Engine) cleanupHistory(p *probe) {
-	for _, n := range p.visited {
-		delete(e.history, histKey{node: n, probe: p.id})
-	}
-	p.visited = nil
+	p.hist = nil
 }
 
 // probeAdvance implements one MB-m step: take a free valid channel if any,
 // otherwise misroute within budget, otherwise Force-wait or backtrack.
-func (e *Engine) probeAdvance(p *probe) bool {
-	opts := e.outputs(p, nil)
-	hist := e.history[histKey{node: p.at, probe: p.id}]
+func (e *Engine) probeAdvance(p *probe, opts []outOption) bool {
+	hist := p.hist[p.at]
 
 	// First choice: a free, unsearched, profitable channel; then free
 	// unsearched misroutes within budget.
@@ -735,9 +789,9 @@ func (e *Engine) probeAdvance(p *probe) bool {
 
 // requestedChannels filters the probe's current candidate outputs the Force
 // logic considers "requested": existing, unsearched, within misroute budget,
-// not faulty.
+// not faulty. The result aliases the engine's serial scratch buffer.
 func (e *Engine) requestedChannels(p *probe, opts []outOption, hist uint32) []outOption {
-	var req []outOption
+	req := e.scratch[0].req[:0]
 	for _, o := range opts {
 		if hist&o.bit != 0 {
 			continue
@@ -750,6 +804,7 @@ func (e *Engine) requestedChannels(p *probe, opts []outOption, hist uint32) []ou
 		}
 		req = append(req, o)
 	}
+	e.scratch[0].req = req[:0]
 	return req
 }
 
@@ -809,9 +864,8 @@ func (e *Engine) forceSelectVictim(p *probe, opts []outOption, hist uint32) bool
 }
 
 // probeWait re-evaluates a waiting Force probe each cycle.
-func (e *Engine) probeWait(p *probe) bool {
-	opts := e.outputs(p, nil)
-	hist := e.history[histKey{node: p.at, probe: p.id}]
+func (e *Engine) probeWait(p *probe, opts []outOption) bool {
+	hist := p.hist[p.at]
 
 	// Grab any requested channel that has come free.
 	req := e.requestedChannels(p, opts, hist)
@@ -851,11 +905,12 @@ func (e *Engine) probeBacktrack(p *probe) bool {
 	k := e.key(hop.ch)
 	e.status[k] = Free
 	e.owner[k] = 0
+	e.markTouched(k)
 	if len(p.path) > 0 {
 		in := e.key(p.path[len(p.path)-1].ch)
-		delete(e.directMap, in)
+		e.directMap[in] = -1
 	}
-	delete(e.reverseMap, k)
+	e.reverseMap[k] = -1
 	if hop.misroute {
 		p.misroutes--
 	}

@@ -167,8 +167,8 @@ func TestHistoryStoreCleanedUp(t *testing.T) {
 		t.Fatal("history store empty after first hop")
 	}
 	runUntil(t, e, 100, func() bool { return res != nil })
-	if len(e.history) != 0 {
-		t.Fatalf("history store leaked %d entries", len(e.history))
+	if e.History(0, id) != 0 {
+		t.Fatal("history store leaked entries after the probe finished")
 	}
 }
 
@@ -236,11 +236,15 @@ func TestBacktrackRestoresChannels(t *testing.T) {
 			t.Fatalf("leaked reservation on %+v: %v", ch, s)
 		}
 	}
-	if len(e.directMap) != 0 || len(e.reverseMap) != 0 {
-		t.Fatal("mapping registers leaked")
+	for k := range e.directMap {
+		if e.directMap[k] >= 0 || e.reverseMap[k] >= 0 {
+			t.Fatal("mapping registers leaked")
+		}
 	}
-	if len(e.history) != 0 {
-		t.Fatal("history leaked")
+	for _, p := range e.probes {
+		if len(p.hist) != 0 {
+			t.Fatal("history leaked")
+		}
 	}
 }
 
@@ -272,8 +276,10 @@ func TestTeardownFreesEverything(t *testing.T) {
 	if _, ok := e.CircuitByID(res.Circuit); ok {
 		t.Fatal("circuit survived teardown")
 	}
-	if len(e.directMap) != 0 || len(e.reverseMap) != 0 {
-		t.Fatal("mappings survived teardown")
+	for k := range e.directMap {
+		if e.directMap[k] >= 0 || e.reverseMap[k] >= 0 {
+			t.Fatal("mappings survived teardown")
+		}
 	}
 }
 
@@ -548,8 +554,10 @@ func TestTheoremProbeStorm(t *testing.T) {
 	if finished != launched {
 		t.Fatalf("finished %d of %d probes", finished, launched)
 	}
-	if len(e.history) != 0 {
-		t.Fatalf("history leaked %d entries", len(e.history))
+	for _, p := range e.probes {
+		if len(p.hist) != 0 {
+			t.Fatalf("history leaked %d entries for probe %d", len(p.hist), p.id)
+		}
 	}
 	// Every Reserved channel must have been released (only Established for
 	// surviving circuits and Free elsewhere).

@@ -213,8 +213,10 @@ func TestTeardownDuringAck(t *testing.T) {
 			t.Fatalf("channel %d stuck in %v", k, s)
 		}
 	}
-	if len(e.directMap) != 0 || len(e.reverseMap) != 0 {
-		t.Fatal("mappings leaked")
+	for k := range e.directMap {
+		if e.directMap[k] >= 0 || e.reverseMap[k] >= 0 {
+			t.Fatal("mappings leaked")
+		}
 	}
 }
 

@@ -131,6 +131,14 @@ type Manager struct {
 	inFlight map[flit.MsgID]int64 // message -> inject time
 	nextMsg  flit.MsgID
 
+	// ageQueue records (id, inject time) in Send order; both are monotone, so
+	// the first entry still in flight is the oldest message. ageHead is the
+	// lazily-advanced front — delivered messages are skipped when OldestAge
+	// next walks past them, making the per-cycle watchdog probe O(1)
+	// amortised instead of a scan over every in-flight message.
+	ageQueue []agedMsg
+	ageHead  int
+
 	// Events, when non-nil, records protocol actions (see internal/events).
 	Events *events.Log
 
@@ -170,15 +178,34 @@ func (m *Manager) Cycle(now int64) { m.Fab.Cycle(now) }
 // InFlight returns messages accepted by Send but not yet delivered.
 func (m *Manager) InFlight() int { return len(m.inFlight) }
 
+// agedMsg is one ageQueue entry.
+type agedMsg struct {
+	id flit.MsgID
+	t  int64
+}
+
 // OldestAge returns the age of the oldest undelivered message.
 func (m *Manager) OldestAge(now int64) int64 {
-	var oldest int64
-	for _, t := range m.inFlight {
-		if age := now - t; age > oldest {
-			oldest = age
+	for m.ageHead < len(m.ageQueue) {
+		e := m.ageQueue[m.ageHead]
+		if _, ok := m.inFlight[e.id]; ok {
+			m.compactAgeQueue()
+			return now - e.t
 		}
+		m.ageHead++
 	}
-	return oldest
+	m.ageQueue = m.ageQueue[:0]
+	m.ageHead = 0
+	return 0
+}
+
+// compactAgeQueue keeps the queue's memory proportional to the live suffix.
+func (m *Manager) compactAgeQueue() {
+	if m.ageHead > 1024 && m.ageHead > len(m.ageQueue)/2 {
+		n := copy(m.ageQueue, m.ageQueue[m.ageHead:])
+		m.ageQueue = m.ageQueue[:n]
+		m.ageHead = 0
+	}
 }
 
 func (m *Manager) delivered(msg flit.Message, now int64, viaCircuit bool) {
@@ -242,6 +269,7 @@ func (m *Manager) Send(src, dst topology.Node, length int, now int64, wantCircui
 	msg := flit.Message{ID: m.nextMsg, Src: int(src), Dst: int(dst), Len: length, InjectTime: now}
 	m.Ctr.Sent++
 	m.inFlight[msg.ID] = now
+	m.ageQueue = append(m.ageQueue, agedMsg{id: msg.ID, t: now})
 	m.ev(events.Send, msg.Src, msg.Dst, int64(msg.ID))
 	m.route(msg, wantCircuit)
 	return msg.ID

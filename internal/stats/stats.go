@@ -199,7 +199,7 @@ type Table struct {
 func NewTable(header ...string) *Table { return &Table{header: header} }
 
 // AddRow appends a row; values are formatted with %v.
-func (t *Table) AddRow(cells ...interface{}) {
+func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {

@@ -163,6 +163,9 @@ type Engine struct {
 	// now mirrors the cycle passed to Cycle, for recovery bookkeeping.
 	now int64
 
+	// par holds the parallel-cycle scratch (nil in serial mode).
+	par *parState
+
 	// Scratch reused across cycles.
 	cands        []routing.Candidate
 	outLinkBusy  []bool

@@ -1,0 +1,285 @@
+package wormhole
+
+import (
+	"fmt"
+	mathbits "math/bits"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// This file is the wormhole half of the deterministic parallel cycle engine
+// (see internal/engine). A serial Cycle spends most of its time walking every
+// input port — thousands on a 16x16 torus — even though only a handful hold a
+// header or a streaming flit on any given cycle. The parallel split moves
+// that walk, plus the route computation it triggers, into a concurrent
+// compute phase:
+//
+//	BeginCycle   serial prologue (recovery, credit drain)
+//	PrepareRange concurrent port scan; computes routing candidates and marks
+//	             allocation-/movement-ready ports in per-worker bitmaps
+//	CommitCycle  serial: merges the bitmaps and replays VC allocation and
+//	             switch traversal over only the ready ports, in the same
+//	             rotating order the serial engine uses
+//
+// Determinism: routing candidates depend only on the header and the topology
+// — never on the allocation state — so precomputing them is exact. Every
+// decision that reads mutable shared state (output-VC claims, link/port busy
+// arbitration, credits) happens in CommitCycle, which visits ready ports in
+// exactly the serial rotating order; skipped ports are precisely those the
+// serial pass would have dismissed without touching shared state. The result
+// is bit-identical to Cycle for any worker count.
+
+// parState is the scratch of the parallel split.
+type parState struct {
+	workers int
+	// Per-worker ready bitmaps over the global input-port space. Workers own
+	// disjoint port ranges but may share words, so each writes its own copy;
+	// CommitCycle ORs them together.
+	allocW [][]uint64
+	moveW  [][]uint64
+	// Merged bitmaps, valid during CommitCycle.
+	alloc []uint64
+	move  []uint64
+	// cands holds each routing-ready port's precomputed candidates (backing
+	// arrays reused across cycles).
+	cands [][]routing.Candidate
+}
+
+// SetParallel allocates the parallel-cycle scratch for `workers` workers.
+// Call once, before the first BeginCycle.
+func (e *Engine) SetParallel(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	total := e.NumPorts()
+	words := (total + 63) / 64
+	p := &parState{
+		workers: workers,
+		allocW:  make([][]uint64, workers),
+		moveW:   make([][]uint64, workers),
+		alloc:   make([]uint64, words),
+		move:    make([]uint64, words),
+		cands:   make([][]routing.Candidate, total),
+	}
+	for w := 0; w < workers; w++ {
+		p.allocW[w] = make([]uint64, words)
+		p.moveW[w] = make([]uint64, words)
+	}
+	e.par = p
+}
+
+// NumPorts returns the size of the global input-port space the fabric fans
+// PrepareRange out over: all link virtual channels plus one injection port
+// per node.
+func (e *Engine) NumPorts() int { return e.numLinkInputs() + len(e.inj) }
+
+// BeginCycle runs the serial prologue of a parallel cycle: everything Cycle
+// does before the allocation pass, plus clearing the ready bitmaps.
+func (e *Engine) BeginCycle(now int64) {
+	e.now = now
+	e.stepRecovery(now)
+	e.drainCredits(now)
+	p := e.par
+	clear(p.alloc)
+	clear(p.move)
+	for w := 0; w < p.workers; w++ {
+		clear(p.allocW[w])
+		clear(p.moveW[w])
+	}
+}
+
+func setBit(bits []uint64, i int) { bits[i>>6] |= 1 << uint(i&63) }
+
+// PrepareRange scans ports [lo, hi) on behalf of `worker`. It mutates only
+// per-port state no other port reads (rcWait, the port's candidate scratch)
+// and the worker's own bitmaps; everything else is read-only, so ranges run
+// concurrently.
+func (e *Engine) PrepareRange(worker, lo, hi int) {
+	p := e.par
+	nLink := e.numLinkInputs()
+	for port := lo; port < hi; port++ {
+		if port < nLink {
+			v := &e.in[port]
+			switch v.phase {
+			case vcRouting:
+				head, ok := v.buf.Front()
+				if !ok {
+					continue
+				}
+				if !head.Kind.IsHead() {
+					panic(fmt.Sprintf("wormhole: routing phase with non-head flit %v at front", head.Kind))
+				}
+				if v.rcWait > 0 {
+					v.rcWait--
+					continue
+				}
+				link := topology.LinkID(port / e.prm.NumVCs)
+				l, okL := e.topo.LinkByID(link)
+				if !okL {
+					panic("wormhole: flit on non-existent link")
+				}
+				if int(l.To) == head.Dst {
+					setBit(p.allocW[worker], port)
+					continue
+				}
+				c := e.fn.Candidates(l.To, topology.Node(head.Dst), link, port%e.prm.NumVCs, p.cands[port][:0])
+				p.cands[port] = c
+				if len(c) > 0 {
+					setBit(p.allocW[worker], port)
+				}
+			case vcActive:
+				if !v.buf.Empty() {
+					setBit(p.moveW[worker], port)
+				}
+			}
+		} else {
+			n := topology.Node(port - nLink)
+			ip := &e.inj[n]
+			if len(ip.queue) == 0 {
+				continue
+			}
+			switch ip.phase {
+			case vcRouting:
+				if ip.rcWait > 0 {
+					ip.rcWait--
+					continue
+				}
+				m := ip.queue[0]
+				if m.Dst == int(n) {
+					setBit(p.allocW[worker], port)
+					continue
+				}
+				c := e.fn.Candidates(n, topology.Node(m.Dst), topology.Invalid, 0, p.cands[port][:0])
+				p.cands[port] = c
+				if len(c) > 0 {
+					setBit(p.allocW[worker], port)
+				}
+			case vcActive:
+				setBit(p.moveW[worker], port)
+			}
+		}
+	}
+}
+
+// commitAlloc finishes VC allocation for one ready port: the claim scan the
+// serial allocate pass would have run, minus the route computation (already
+// done). Newly activated ports join the movement bitmap so the traversal
+// pass picks them up this same cycle, as in the serial engine.
+func (e *Engine) commitAlloc(port int) {
+	p := e.par
+	if port < e.numLinkInputs() {
+		v := &e.in[port]
+		head, _ := v.buf.Front()
+		link := topology.LinkID(port / e.prm.NumVCs)
+		l, _ := e.topo.LinkByID(link)
+		if int(l.To) == head.Dst {
+			v.phase = vcActive
+			v.outLink = topology.Invalid
+			v.curMsg = head.Msg
+			setBit(p.move, port)
+			return
+		}
+		for _, c := range p.cands[port] {
+			idx := e.ch(c.Link, c.VC)
+			if e.outOwner[idx] == -1 {
+				e.outOwner[idx] = int32(port)
+				v.phase = vcActive
+				v.outLink = c.Link
+				v.outVC = c.VC
+				v.curMsg = head.Msg
+				setBit(p.move, port)
+				return
+			}
+		}
+		return
+	}
+	n := topology.Node(port - e.numLinkInputs())
+	ip := &e.inj[n]
+	m := ip.queue[0]
+	if m.Dst == int(n) {
+		ip.phase = vcActive
+		ip.outLink = topology.Invalid
+		setBit(p.move, port)
+		return
+	}
+	for _, c := range p.cands[port] {
+		idx := e.ch(c.Link, c.VC)
+		if e.outOwner[idx] == -1 {
+			e.outOwner[idx] = e.injInput(n)
+			ip.phase = vcActive
+			ip.outLink = c.Link
+			ip.outVC = c.VC
+			setBit(p.move, port)
+			return
+		}
+	}
+}
+
+// CommitCycle is the serial remainder of a parallel cycle: VC allocation and
+// switch traversal over the ready ports in rotating order, then the arrival
+// commit and priority rotation — effect-for-effect what Cycle does after its
+// prologue.
+func (e *Engine) CommitCycle(now int64) {
+	p := e.par
+	for w := 0; w < p.workers; w++ {
+		aw, mw := p.allocW[w], p.moveW[w]
+		for i := range p.alloc {
+			p.alloc[i] |= aw[i]
+			p.move[i] |= mw[i]
+		}
+	}
+
+	total := e.NumPorts()
+	start := e.rr % total
+	forEachSet(p.alloc, total, start, e.commitAlloc)
+
+	for i := range e.outLinkBusy {
+		e.outLinkBusy[i] = false
+	}
+	for i := range e.inPortBusy {
+		e.inPortBusy[i] = false
+	}
+	e.arrivalsCh = e.arrivalsCh[:0]
+	e.arrivalsFlit = e.arrivalsFlit[:0]
+	forEachSet(p.move, total, start, func(port int) {
+		if port < e.numLinkInputs() {
+			e.traverseLinkVC(int32(port), now)
+		} else {
+			e.traverseInjection(topology.Node(port-e.numLinkInputs()), now)
+		}
+	})
+
+	e.commitArrivals()
+	e.rr++
+}
+
+// forEachSet visits every set bit of bits in the rotated order
+// start, start+1, ..., n-1, 0, 1, ..., start-1 — the serial engine's
+// rotating arbitration order with the unset ports skipped.
+func forEachSet(bits []uint64, n, start int, fn func(port int)) {
+	scanSet(bits, start, n, fn)
+	scanSet(bits, 0, start, fn)
+}
+
+// scanSet visits the set bits with indices in [from, to) in ascending order.
+func scanSet(bits []uint64, from, to int, fn func(port int)) {
+	if from >= to {
+		return
+	}
+	firstW := from >> 6
+	lastW := (to - 1) >> 6
+	for w := firstW; w <= lastW; w++ {
+		word := bits[w]
+		if w == firstW {
+			word &= ^uint64(0) << uint(from&63)
+		}
+		if w == lastW && to&63 != 0 {
+			word &= 1<<uint(to&63) - 1
+		}
+		for word != 0 {
+			fn(w<<6 + mathbits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}

@@ -114,6 +114,13 @@ type Config struct {
 	// Seed drives all randomness; equal seeds give bit-identical runs.
 	Seed uint64
 
+	// Workers is the worker count of the parallel cycle engine
+	// (internal/engine). 0 or 1 runs the serial engine; higher values run the
+	// compute half of every cycle concurrently while staying bit-identical to
+	// the serial engine for the same seed. Simulators with Workers > 1 own a
+	// goroutine pool; call Close when done with them.
+	Workers int
+
 	// WatchdogMaxAge bounds per-message delivery time in cycles (0 disables);
 	// WatchdogStall bounds progress-free cycles with work in flight. Both are
 	// the empirical deadlock/livelock oracle of the Theorem tests.
@@ -161,5 +168,6 @@ func (c Config) coreParams() core.Params {
 		InitialBufFlits: c.InitialBufFlits,
 		ReallocPenalty:  c.ReallocPenalty,
 		Seed:            c.Seed,
+		Workers:         c.Workers,
 	}
 }
