@@ -22,6 +22,13 @@ type benchRun struct {
 	Throughput      float64 `json:"throughput_flits_node_cycle"`
 	AvgLatency      float64 `json:"avg_latency_cycles"`
 	P99Latency      float64 `json:"p99_latency_cycles"`
+	// GC-pressure evidence for the zero-allocation hot path: heap
+	// allocations and bytes per simulated cycle, plus the number of GC
+	// cycles the run triggered (runtime.MemStats deltas over the whole
+	// warmup+measure run; simulator construction is excluded).
+	AllocsPerCycle     float64 `json:"allocs_per_cycle"`
+	AllocBytesPerCycle float64 `json:"alloc_bytes_per_cycle"`
+	NumGC              uint32  `json:"num_gc"`
 }
 
 // benchReport is the machine-readable artifact -bench-json writes; the seed
@@ -82,13 +89,18 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 			return benchRun{}, wave.Stats{}, err
 		}
 		defer s.Close()
+		var msBefore, msAfter runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		res, err := s.RunLoad(w, warmup, measure)
 		if err != nil {
 			return benchRun{}, wave.Stats{}, fmt.Errorf("%s: %w", name, err)
 		}
 		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&msAfter)
 		st := s.Stats()
+		cycles := float64(st.Cycle)
 		return benchRun{
 			Name:            name,
 			Workers:         nw,
@@ -99,6 +111,10 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 			Throughput:      res.Throughput,
 			AvgLatency:      res.AvgLatency,
 			P99Latency:      res.P99Latency,
+
+			AllocsPerCycle:     float64(msAfter.Mallocs-msBefore.Mallocs) / cycles,
+			AllocBytesPerCycle: float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / cycles,
+			NumGC:              msAfter.NumGC - msBefore.NumGC,
 		}, st, nil
 	}
 

@@ -81,6 +81,12 @@ type Params struct {
 	// requires deep delivery buffers"). Zero means buffers deep enough that
 	// the window never throttles — the paper's design point.
 	WindowFlits int
+	// DisableRoutingTable turns off the precomputed (here, dst) routing
+	// table (internal/routing.WithTable) and routes every header through the
+	// algorithmic implementation. Candidate sequences are identical either
+	// way; the flag exists for oracle cross-checks and for memory-constrained
+	// runs on topologies below the automatic size gate.
+	DisableRoutingTable bool
 	// Seed drives every random decision in the fabric.
 	Seed uint64
 	// Workers sets the worker count of the parallel cycle engine
@@ -181,6 +187,12 @@ func New(topo topology.Topology, prm Params, hooks Hooks) (*Fabric, error) {
 	fn, err := routing.New(prm.Routing, topo, prm.NumVCs)
 	if err != nil {
 		return nil, err
+	}
+	if !prm.DisableRoutingTable {
+		// Freeze the routing function into a (here, dst) lookup table: the
+		// algorithmic implementation above remains the generator and oracle,
+		// the per-cycle hot path becomes a zero-allocation slice-view copy.
+		fn = routing.WithTable(fn, topo, routing.DefaultTableMaxNodes)
 	}
 	workers := prm.Workers
 	if workers < 1 {

@@ -71,6 +71,10 @@ type ShardedEvents struct {
 	seq    int64
 	size   int
 	due    []*Event // scratch reused across cycles
+	// pool recycles Event objects: PopDue's contract forbids callers from
+	// retaining the returned events, so the next call reclaims them and
+	// Schedule reuses the objects instead of allocating per event.
+	pool []*Event
 }
 
 // NewShardedEvents creates a store with `shards` shards (minimum 1).
@@ -92,7 +96,16 @@ func (s *ShardedEvents) Len() int { return s.size }
 // freely without re-entering the current cycle's merge.
 func (s *ShardedEvents) Schedule(shard int, at int64, fn func(now int64)) {
 	s.seq++
-	s.shards[shard%len(s.shards)].push(&Event{At: at, Seq: s.seq, Fn: fn})
+	var e *Event
+	if n := len(s.pool); n > 0 {
+		e = s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+	} else {
+		e = &Event{}
+	}
+	e.At, e.Seq, e.Fn = at, s.seq, fn
+	s.shards[shard%len(s.shards)].push(e)
 	s.size++
 }
 
@@ -101,6 +114,12 @@ func (s *ShardedEvents) Schedule(shard int, at int64, fn func(now int64)) {
 // retain it. Events scheduled while iterating the result land in the shard
 // heaps and are not observed until a later PopDue.
 func (s *ShardedEvents) PopDue(now int64) []*Event {
+	// Reclaim the events handed out by the previous call (callers must not
+	// retain them) before reusing the scratch slice.
+	for _, e := range s.due {
+		e.Fn = nil
+		s.pool = append(s.pool, e)
+	}
 	s.due = s.due[:0]
 	for i := range s.shards {
 		for len(s.shards[i]) > 0 && s.shards[i][0].At <= now {

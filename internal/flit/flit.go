@@ -87,6 +87,22 @@ type Message struct {
 	InjectTime int64
 }
 
+// FlitAt materialises flit i of the message on demand. The engines call it
+// from their traversal loops instead of storing messages as flit slices, so a
+// message in flight costs one Message struct, not Len Flit values.
+func (m Message) FlitAt(i int) Flit {
+	k := Body
+	switch {
+	case m.Len == 1:
+		k = HeadTail
+	case i == 0:
+		k = Head
+	case i == m.Len-1:
+		k = Tail
+	}
+	return Flit{Kind: k, Msg: m.ID, Src: m.Src, Dst: m.Dst, Seq: i}
+}
+
 // Flits expands the message into its flit sequence.
 func (m Message) Flits() []Flit {
 	if m.Len <= 0 {

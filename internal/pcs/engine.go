@@ -181,9 +181,13 @@ type probe struct {
 	waitingOwner     int64 // circuit ID expected to release waitingFor
 
 	// hist is this probe's slice of the distributed History Store: the mask
-	// of outputs already searched, by node. Only the probe's own step touches
-	// it, which is what lets the parallel compute phase read it lock-free.
-	hist map[topology.Node]uint32
+	// of outputs already searched, by node (dense, indexed by node). Only the
+	// probe's own step touches it, which is what lets the parallel compute
+	// phase read it lock-free. histDirty lists the nodes with nonzero masks
+	// so cleanup resets only what was visited; a pooled probe keeps both
+	// backing arrays, so the store allocates once per probe object, ever.
+	hist      []uint32
+	histDirty []topology.Node
 
 	// opts is the per-cycle output enumeration, reused across cycles.
 	opts []outOption
@@ -196,7 +200,9 @@ type probe struct {
 }
 
 // ack travels back from the destination along the reserved path, flipping
-// each channel to Established (setting the Ack Returned bit).
+// each channel to Established (setting the Ack Returned bit). Acks (like
+// teardowns and releases) are plain values in the engine's work lists: one
+// hop of travel copies a few words instead of chasing a heap object.
 type ack struct {
 	circ  *Circuit
 	pos   int // index into circ.Path of the next channel to acknowledge (from the tail)
@@ -253,9 +259,25 @@ type Engine struct {
 	prepList []*probe
 
 	probes    []*probe
-	acks      []*ack
-	teardowns []*teardown
-	releases  []*release
+	acks      []ack
+	teardowns []teardown
+	releases  []release
+
+	// Spill buffers for the snapshot-and-reset pattern of the step functions:
+	// each step swaps its work list with the matching spill so callbacks may
+	// append mid-iteration, then splices survivors and spilled entries back —
+	// two arrays alternating forever instead of a fresh slice per cycle.
+	probeSpill []*probe
+	ackSpill   []ack
+	tdSpill    []teardown
+	relSpill   []release
+
+	// Free-lists for probe and circuit objects. Recycling happens only on
+	// the serial commit path (never concurrently, never via sync.Pool), so
+	// reuse order is canonical and runs stay bit-identical across worker
+	// counts.
+	probePool []*probe
+	circPool  []*Circuit
 
 	circuits map[circuit.ID]*Circuit
 
@@ -336,7 +358,7 @@ func (e *Engine) ReverseMapping(out Channel) (Channel, bool) {
 func (e *Engine) History(n topology.Node, p flit.ProbeID) uint32 {
 	for _, pr := range e.probes {
 		if pr.id == p {
-			return pr.hist[n]
+			return pr.histAt(n)
 		}
 	}
 	return 0
@@ -398,20 +420,77 @@ func (e *Engine) LaunchProbe(src, dst topology.Node, sw int, force bool, done fu
 		panic(fmt.Sprintf("pcs: switch %d out of range", sw))
 	}
 	e.nextProbe++
-	p := &probe{
-		id:       e.nextProbe,
-		src:      src,
-		dst:      dst,
-		sw:       sw,
-		force:    force,
-		maxMis:   e.prm.MaxMisroutes,
-		at:       src,
-		launched: e.now,
-		done:     done,
-	}
+	p := e.getProbe()
+	p.id = e.nextProbe
+	p.src = src
+	p.dst = dst
+	p.sw = sw
+	p.force = force
+	p.maxMis = e.prm.MaxMisroutes
+	p.at = src
+	p.launched = e.now
+	p.done = done
 	e.probes = append(e.probes, p)
 	e.Ctr.ProbesLaunched++
 	return p.id
+}
+
+// getProbe takes a probe object from the free-list (or allocates the pool's
+// first tenant). Recycled probes keep their grown path/opts/history arrays;
+// every transient field is reset here.
+func (e *Engine) getProbe() *probe {
+	var p *probe
+	if n := len(e.probePool); n > 0 {
+		p = e.probePool[n-1]
+		e.probePool[n-1] = nil
+		e.probePool = e.probePool[:n-1]
+	} else {
+		p = &probe{}
+	}
+	p.misroutes = 0
+	p.path = p.path[:0]
+	p.phase = probeAdvancing
+	p.requestedRelease = false
+	p.waitingFor = Channel{}
+	p.waitingOwner = 0
+	p.opts = p.opts[:0]
+	p.prep.kind = prepNone
+	p.prep.cycle = -1
+	return p
+}
+
+// putProbe recycles a finished probe. Callers must have run cleanupHistory
+// and fired the done callback already; recycling happens only on the serial
+// commit path, so reuse order is canonical.
+func (e *Engine) putProbe(p *probe) {
+	p.done = nil
+	e.probePool = append(e.probePool, p)
+}
+
+// getCircuit takes a circuit object from the free-list, keeping its grown
+// Path array.
+func (e *Engine) getCircuit() *Circuit {
+	var c *Circuit
+	if n := len(e.circPool); n > 0 {
+		c = e.circPool[n-1]
+		e.circPool[n-1] = nil
+		e.circPool = e.circPool[:n-1]
+	} else {
+		c = &Circuit{}
+	}
+	c.Path = c.Path[:0]
+	c.releasePending = false
+	c.tearingDown = false
+	c.ackPending = false
+	c.teardownDeferred = false
+	c.deferredDone = nil
+	return c
+}
+
+// putCircuit recycles a fully torn-down circuit (already deleted from the
+// registry, so no CircuitByID caller can observe the reuse).
+func (e *Engine) putCircuit(c *Circuit) {
+	e.circPool = append(e.circPool, c)
 }
 
 // Teardown starts releasing circuit id from its source. done fires when the
@@ -433,7 +512,7 @@ func (e *Engine) Teardown(id circuit.ID, done func()) {
 		return
 	}
 	c.tearingDown = true
-	e.teardowns = append(e.teardowns, &teardown{circ: c, next: 0, done: done})
+	e.teardowns = append(e.teardowns, teardown{circ: c, next: 0, done: done})
 	e.Ctr.Teardowns++
 }
 
@@ -452,10 +531,12 @@ func (e *Engine) Cycle(now int64) {
 func (e *Engine) stepTeardowns() {
 	// Snapshot-and-reset: done callbacks may start new teardowns (e.g. a
 	// CircuitFreed handler evicting another victim); those must not be lost
-	// to in-place compaction, nor run this same cycle.
+	// to in-place compaction, nor run this same cycle. The swap with the
+	// spill buffer keeps both backing arrays alive across cycles, so the
+	// steady state allocates nothing.
 	work := e.teardowns
-	e.teardowns = nil
-	var kept []*teardown
+	e.teardowns = e.tdSpill[:0]
+	n := 0
 	for _, td := range work {
 		ch := td.circ.Path[td.next]
 		k := e.key(ch)
@@ -474,11 +555,18 @@ func (e *Engine) stepTeardowns() {
 			if td.done != nil {
 				td.done()
 			}
+			e.putCircuit(td.circ)
 			continue
 		}
-		kept = append(kept, td)
+		work[n] = td
+		n++
 	}
-	e.teardowns = append(kept, e.teardowns...)
+	spill := e.teardowns
+	for i := n; i < len(work); i++ {
+		work[i] = teardown{}
+	}
+	e.teardowns = append(work[:n], spill...)
+	e.tdSpill = spill[:0]
 }
 
 // ---------------------------------------------------------------------------
@@ -499,14 +587,14 @@ func (e *Engine) sendRelease(ch Channel) {
 		return
 	}
 	c.releasePending = true
-	e.releases = append(e.releases, &release{circID: id, at: ch})
+	e.releases = append(e.releases, release{circID: id, at: ch})
 	e.Ctr.ReleasesSent++
 }
 
 func (e *Engine) stepReleases() {
 	work := e.releases
-	e.releases = nil
-	var kept []*release
+	e.releases = e.relSpill[:0]
+	n := 0
 	for _, r := range work {
 		k := e.key(r.at)
 		// Stale? The circuit may have been torn down while we travelled
@@ -524,9 +612,12 @@ func (e *Engine) stepReleases() {
 			continue
 		}
 		r.at = e.chanOf(prev)
-		kept = append(kept, r)
+		work[n] = r
+		n++
 	}
-	e.releases = append(kept, e.releases...)
+	spill := e.releases
+	e.releases = append(work[:n], spill...)
+	e.relSpill = spill[:0]
 }
 
 // ---------------------------------------------------------------------------
@@ -534,8 +625,8 @@ func (e *Engine) stepReleases() {
 
 func (e *Engine) stepAcks() {
 	work := e.acks
-	e.acks = nil
-	var kept []*ack
+	e.acks = e.ackSpill[:0]
+	n := 0
 	for _, a := range work {
 		ch := a.circ.Path[a.pos]
 		k := e.key(ch)
@@ -568,11 +659,18 @@ func (e *Engine) stepAcks() {
 				a.circ.deferredDone = nil
 				e.Teardown(a.circ.ID, done)
 			}
+			e.putProbe(p)
 			continue
 		}
-		kept = append(kept, a)
+		work[n] = a
+		n++
 	}
-	e.acks = append(kept, e.acks...)
+	spill := e.acks
+	for i := n; i < len(work); i++ {
+		work[i] = ack{}
+	}
+	e.acks = append(work[:n], spill...)
+	e.ackSpill = spill[:0]
 }
 
 // ---------------------------------------------------------------------------
@@ -583,14 +681,20 @@ func (e *Engine) stepProbes() {
 	// attempt (next wave switch) immediately; the fresh probe must survive
 	// this compaction and start on the next cycle.
 	work := e.probes
-	e.probes = nil
-	var kept []*probe
+	e.probes = e.probeSpill[:0]
+	n := 0
 	for _, p := range work {
 		if e.stepProbe(p) {
-			kept = append(kept, p)
+			work[n] = p
+			n++
 		}
 	}
-	e.probes = append(kept, e.probes...)
+	spill := e.probes
+	for i := n; i < len(work); i++ {
+		work[i] = nil // finished probes are pool-owned now
+	}
+	e.probes = append(work[:n], spill...)
+	e.probeSpill = spill[:0]
 }
 
 // stepProbe advances one probe by one cycle; it returns false when the probe
@@ -599,13 +703,17 @@ func (e *Engine) stepProbe(p *probe) bool {
 	if p.at == p.dst {
 		// Reserved all the way: register the circuit and launch the ack.
 		e.nextCircuit++
-		path := make([]Channel, len(p.path))
-		for i, h := range p.path {
-			path[i] = h.ch
+		c := e.getCircuit()
+		c.ID = e.nextCircuit
+		c.Src = p.src
+		c.Dst = p.dst
+		c.Switch = p.sw
+		for _, h := range p.path {
+			c.Path = append(c.Path, h.ch)
 		}
-		c := &Circuit{ID: e.nextCircuit, Src: p.src, Dst: p.dst, Switch: p.sw, Path: path, ackPending: true}
+		c.ackPending = true
 		e.circuits[c.ID] = c
-		e.acks = append(e.acks, &ack{circ: c, pos: len(path) - 1, probe: p})
+		e.acks = append(e.acks, ack{circ: c, pos: len(c.Path) - 1, probe: p})
 		e.host.Progress()
 		return false
 	}
@@ -682,7 +790,7 @@ func (e *Engine) outputs(p *probe, opts []outOption, sc *outScratch) []outOption
 	mags := sc.mags[:0]
 	mis := sc.mis[:0]
 	for dim := 0; dim < dims; dim++ {
-		for _, dir := range []topology.Dir{topology.Plus, topology.Minus} {
+		for dir := topology.Plus; dir <= topology.Minus; dir++ {
 			link, ok := e.topo.OutLink(p.at, dim, dir)
 			if !ok {
 				continue
@@ -743,20 +851,36 @@ func (e *Engine) takeChannel(p *probe, o outOption) {
 }
 
 func (e *Engine) markHistory(p *probe, bit uint32) {
-	if p.hist == nil {
-		p.hist = make(map[topology.Node]uint32)
+	if len(p.hist) == 0 {
+		p.hist = make([]uint32, e.topo.Nodes()) // once per probe object, ever
+	}
+	if p.hist[p.at] == 0 {
+		p.histDirty = append(p.histDirty, p.at)
 	}
 	p.hist[p.at] |= bit
 }
 
+// cleanupHistory clears the probe's History Store entries by walking the
+// dirty list — O(nodes visited), and the arrays stay with the pooled probe.
 func (e *Engine) cleanupHistory(p *probe) {
-	p.hist = nil
+	for _, n := range p.histDirty {
+		p.hist[n] = 0
+	}
+	p.histDirty = p.histDirty[:0]
+}
+
+// histAt reads the probe's History Store mask for node n.
+func (p *probe) histAt(n topology.Node) uint32 {
+	if len(p.hist) == 0 {
+		return 0
+	}
+	return p.hist[n]
 }
 
 // probeAdvance implements one MB-m step: take a free valid channel if any,
 // otherwise misroute within budget, otherwise Force-wait or backtrack.
 func (e *Engine) probeAdvance(p *probe, opts []outOption) bool {
-	hist := p.hist[p.at]
+	hist := p.histAt(p.at)
 
 	// First choice: a free, unsearched, profitable channel; then free
 	// unsearched misroutes within budget.
@@ -865,7 +989,7 @@ func (e *Engine) forceSelectVictim(p *probe, opts []outOption, hist uint32) bool
 
 // probeWait re-evaluates a waiting Force probe each cycle.
 func (e *Engine) probeWait(p *probe, opts []outOption) bool {
-	hist := p.hist[p.at]
+	hist := p.histAt(p.at)
 
 	// Grab any requested channel that has come free.
 	req := e.requestedChannels(p, opts, hist)
@@ -898,6 +1022,7 @@ func (e *Engine) probeBacktrack(p *probe) bool {
 		if p.done != nil {
 			p.done(SetupResult{Probe: p.id, OK: false, Cycles: e.now - p.launched + 1})
 		}
+		e.putProbe(p)
 		return false
 	}
 	hop := p.path[len(p.path)-1]

@@ -100,7 +100,7 @@ func (e *Engine) prepareProbe(now int64, worker int, p *probe) {
 	}
 	opts := e.outputs(p, p.opts[:0], &e.scratch[worker])
 	p.opts = opts
-	hist := p.hist[p.at]
+	hist := p.histAt(p.at)
 
 	if p.phase == probeAdvancing {
 		// Mirror probeAdvance's first-choice scan: the first eligible Free

@@ -1,0 +1,104 @@
+package pcs
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// zeroAllocRound is one full PCS churn cycle on an 8x8 torus: launch a batch
+// of probes, cycle until every setup resolves, tear down every established
+// circuit, and cycle until the network is clean. After warmup the probe and
+// circuit pools, the dense history stores, the ack/teardown/release value
+// slices (and their spill buffers), and the circuits map are all at steady
+// capacity, so a round touches every protocol phase without heap allocation.
+type zeroAllocHarness struct {
+	e       *Engine
+	now     int64
+	results [16]SetupResult
+	nres    int
+	torn    int
+	done    func(SetupResult)
+	tdDone  func()
+}
+
+func newZeroAllocHarness(tb testing.TB) *zeroAllocHarness {
+	tb.Helper()
+	topo := topology.MustCube([]int{8, 8}, true)
+	e, err := New(topo, Params{NumSwitches: 2, MaxMisroutes: 2}, &fakeHost{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	h := &zeroAllocHarness{e: e}
+	// The callbacks are allocated once here and shared by every launch and
+	// teardown; per-call closures would themselves be heap allocations.
+	h.done = func(r SetupResult) {
+		h.results[h.nres] = r
+		h.nres++
+	}
+	h.tdDone = func() { h.torn++ }
+	return h
+}
+
+func (h *zeroAllocHarness) round(tb testing.TB) {
+	const nodes = 64
+	h.nres = 0
+	for i := 0; i < len(h.results); i++ {
+		src := topology.Node(i * 4 % nodes)
+		dst := topology.Node((i*4 + 27) % nodes)
+		h.e.LaunchProbe(src, dst, i%2, false, h.done)
+	}
+	for c := 0; c < 10000 && h.nres < len(h.results); c++ {
+		h.e.Cycle(h.now)
+		h.now++
+	}
+	if h.nres < len(h.results) {
+		tb.Fatal("probes did not resolve")
+	}
+	for i := 0; i < h.nres; i++ {
+		if h.results[i].OK {
+			h.e.Teardown(h.results[i].Circuit, h.tdDone)
+		}
+	}
+	for c := 0; c < 10000 && h.e.NumCircuits() > 0; c++ {
+		h.e.Cycle(h.now)
+		h.now++
+	}
+	if h.e.NumCircuits() > 0 {
+		tb.Fatal("circuits did not tear down")
+	}
+}
+
+// TestZeroAllocPCSProbeCycle asserts that steady-state probe setup and
+// circuit teardown allocate nothing once the pools are warm.
+func TestZeroAllocPCSProbeCycle(t *testing.T) {
+	h := newZeroAllocHarness(t)
+	round := func() { h.round(t) }
+	for i := 0; i < 3; i++ {
+		round()
+	}
+	established := 0
+	for i := 0; i < h.nres; i++ {
+		if h.results[i].OK {
+			established++
+		}
+	}
+	if established == 0 {
+		t.Fatal("no circuits established during warmup")
+	}
+	if allocs := testing.AllocsPerRun(20, round); allocs != 0 {
+		t.Errorf("%.1f allocs per setup/teardown round, want 0", allocs)
+	}
+}
+
+// BenchmarkPCSProbeRound measures one full launch/resolve/teardown round;
+// allocs/op must report 0.
+func BenchmarkPCSProbeRound(b *testing.B) {
+	h := newZeroAllocHarness(b)
+	h.round(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.round(b)
+	}
+}

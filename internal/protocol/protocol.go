@@ -248,11 +248,9 @@ func (m *Manager) initialSwitch(n topology.Node) int {
 	if m.Opt.NoSwitchSpread {
 		return 0
 	}
-	coords := make([]int, m.Fab.Topo.Dims())
-	m.Fab.Topo.Coord(n, coords)
 	sum := 0
-	for _, c := range coords {
-		sum += c
+	for d := 0; d < m.Fab.Topo.Dims(); d++ {
+		sum += m.Fab.Topo.CoordAlong(n, d)
 	}
 	return sum % k
 }

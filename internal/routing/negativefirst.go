@@ -40,9 +40,7 @@ func (r *NegativeFirst) Escape() Func { return r }
 
 // Candidates implements Func.
 func (r *NegativeFirst) Candidates(here, dst topology.Node, _ topology.LinkID, _ int, out []Candidate) []Candidate {
-	offs := make([]int, r.topo.Dims())
-	r.topo.Offsets(here, dst, offs)
-
+	dims := r.topo.Dims()
 	appendDir := func(dim int, dir topology.Dir) {
 		link, ok := r.topo.OutLink(here, dim, dir)
 		if !ok {
@@ -55,8 +53,8 @@ func (r *NegativeFirst) Candidates(here, dst topology.Node, _ topology.LinkID, _
 
 	// Phase one: any remaining negative hop, adaptively.
 	negAny := false
-	for d, o := range offs {
-		if o < 0 {
+	for d := 0; d < dims; d++ {
+		if r.topo.OffsetAlong(here, dst, d) < 0 {
 			appendDir(d, topology.Minus)
 			negAny = true
 		}
@@ -65,8 +63,8 @@ func (r *NegativeFirst) Candidates(here, dst topology.Node, _ topology.LinkID, _
 		return out
 	}
 	// Phase two: positive hops, adaptively.
-	for d, o := range offs {
-		if o > 0 {
+	for d := 0; d < dims; d++ {
+		if r.topo.OffsetAlong(here, dst, d) > 0 {
 			appendDir(d, topology.Plus)
 		}
 	}

@@ -102,9 +102,8 @@ func (r *DORNoDateline) Escape() Func { return r }
 
 // Candidates implements Func.
 func (r *DORNoDateline) Candidates(here, dst topology.Node, _ topology.LinkID, _ int, out []Candidate) []Candidate {
-	offs := make([]int, r.topo.Dims())
-	r.topo.Offsets(here, dst, offs)
-	for d, o := range offs {
+	for d := 0; d < r.topo.Dims(); d++ {
+		o := r.topo.OffsetAlong(here, dst, d)
 		if o == 0 {
 			continue
 		}
@@ -159,12 +158,10 @@ func (r *DOR) Escape() Func { return r }
 
 // Candidates implements Func.
 func (r *DOR) Candidates(here, dst topology.Node, inLink topology.LinkID, inVC int, out []Candidate) []Candidate {
-	offs := make([]int, r.topo.Dims())
-	r.topo.Offsets(here, dst, offs)
-	dim := -1
-	for d, o := range offs {
-		if o != 0 {
-			dim = d
+	dim, off := -1, 0
+	for d := 0; d < r.topo.Dims(); d++ {
+		if o := r.topo.OffsetAlong(here, dst, d); o != 0 {
+			dim, off = d, o
 			break
 		}
 	}
@@ -172,7 +169,7 @@ func (r *DOR) Candidates(here, dst topology.Node, inLink topology.LinkID, inVC i
 		return out // at destination; engine delivers
 	}
 	dir := topology.Plus
-	if offs[dim] < 0 {
+	if off < 0 {
 		dir = topology.Minus
 	}
 	link, ok := r.topo.OutLink(here, dim, dir)
@@ -187,7 +184,7 @@ func (r *DOR) Candidates(here, dst topology.Node, inLink topology.LinkID, inVC i
 		}
 		return out
 	}
-	class := datelineClass(r.topo, here, dim, dir, offs[dim])
+	class := datelineClass(r.topo, here, dim, dir, off)
 	for vc := class; vc < r.numVCs; vc += 2 {
 		out = append(out, Candidate{Link: link, VC: vc})
 	}
@@ -207,11 +204,10 @@ func (r *DOR) Candidates(here, dst topology.Node, inLink topology.LinkID, inVC i
 // message, so class-0 dependencies form the acyclic pre-dateline path, class-1
 // dependencies the acyclic wrap-then-prefix path, and dependencies only flow
 // class 0 -> class 1. The channel dependency graph is acyclic (verified by
-// TestTheoremCDGAcyclic).
+// TestTheoremCDGAcyclic). It reads the single coordinate it needs through
+// CoordAlong, so it allocates nothing.
 func datelineClass(topo topology.Topology, here topology.Node, dim int, dir topology.Dir, off int) int {
-	coords := make([]int, topo.Dims())
-	topo.Coord(here, coords)
-	x := coords[dim]
+	x := topo.CoordAlong(here, dim)
 	k := topo.Radix(dim)
 	if dir == topology.Plus {
 		if x+off >= k && x != k-1 {
@@ -267,21 +263,33 @@ func (r *Duato) NumVCs() int { return r.numVCs }
 // Escape implements Func.
 func (r *Duato) Escape() Func { return r.escape }
 
+// move is one profitable direction of a Duato adaptive enumeration.
+type move struct {
+	dim int
+	mag int
+	dir topology.Dir
+}
+
+// maxStackDims bounds the stack-resident move buffer of the adaptive
+// enumeration. A k-ary n-cube with more dimensions than this would have at
+// least 2^33 nodes, far beyond anything the simulator instantiates.
+const maxStackDims = 32
+
 // Candidates implements Func. Adaptive channels come first (preferring the
 // dimension with the largest remaining offset, which tends to preserve
 // future adaptivity), the escape channel last.
 func (r *Duato) Candidates(here, dst topology.Node, inLink topology.LinkID, inVC int, out []Candidate) []Candidate {
-	offs := make([]int, r.topo.Dims())
-	r.topo.Offsets(here, dst, offs)
-
-	// Adaptive minimal candidates, largest offset first.
-	type move struct {
-		dim int
-		mag int
-		dir topology.Dir
+	// Adaptive minimal candidates, largest offset first. The move buffer
+	// lives on the stack (never escapes), keeping the enumeration
+	// allocation-free.
+	var movesBuf [maxStackDims]move
+	moves := movesBuf[:0]
+	dims := r.topo.Dims()
+	if dims > maxStackDims {
+		moves = make([]move, 0, dims)
 	}
-	var moves []move
-	for d, o := range offs {
+	for d := 0; d < dims; d++ {
+		o := r.topo.OffsetAlong(here, dst, d)
 		if o == 0 {
 			continue
 		}
@@ -330,9 +338,8 @@ func (r *meshEscape) Escape() Func { return r }
 
 // Candidates implements Func.
 func (r *meshEscape) Candidates(here, dst topology.Node, _ topology.LinkID, _ int, out []Candidate) []Candidate {
-	offs := make([]int, r.topo.Dims())
-	r.topo.Offsets(here, dst, offs)
-	for d, o := range offs {
+	for d := 0; d < r.topo.Dims(); d++ {
+		o := r.topo.OffsetAlong(here, dst, d)
 		if o == 0 {
 			continue
 		}
@@ -370,9 +377,8 @@ func (r *torusEscape) Escape() Func { return r }
 
 // Candidates implements Func.
 func (r *torusEscape) Candidates(here, dst topology.Node, _ topology.LinkID, _ int, out []Candidate) []Candidate {
-	offs := make([]int, r.topo.Dims())
-	r.topo.Offsets(here, dst, offs)
-	for d, o := range offs {
+	for d := 0; d < r.topo.Dims(); d++ {
+		o := r.topo.OffsetAlong(here, dst, d)
 		if o == 0 {
 			continue
 		}

@@ -1,0 +1,127 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// This file implements table-driven routing: the per-cycle hot path of both
+// engines is a Candidates call, and every routing function in this package is
+// a pure function of (current node, destination) — the inLink/inVC arguments
+// exist for the Func contract but no implemented algorithm reads them, and
+// the dateline virtual-channel classes are themselves memoryless functions of
+// position and remaining offset. That purity is exactly the precondition for
+// precomputation: at fabric build time the algorithmic implementation is run
+// once for every (here, dst) pair and its candidate sequence is frozen into a
+// flat arena, after which Candidates is a two-load slice-view lookup with
+// zero allocation and no arithmetic. The algorithmic implementations remain
+// the table generator and the cross-check oracle (TestTableMatchesOracle).
+
+// DefaultTableMaxNodes bounds automatic table construction: a table holds
+// Nodes^2 candidate lists, so beyond this size the quadratic memory is not
+// worth the per-lookup savings and the (also allocation-free) algorithmic
+// path is used directly.
+const DefaultTableMaxNodes = 1024
+
+// TableFunc is a routing function accelerated by a precomputed (here, dst)
+// candidate table. It implements Func and is safe for concurrent Candidates
+// calls (lookups only read the frozen arena).
+type TableFunc struct {
+	orig  Func
+	nodes int
+	// index[here*nodes+dst] is the arena offset of the pair's candidate list;
+	// the list ends at the next pair's offset (one sentinel entry at the end).
+	index []int32
+	arena []Candidate
+}
+
+// BuildTable precomputes fn over every (here, dst) pair of topo. The
+// returned TableFunc reproduces fn's candidate sequences exactly — fn is the
+// generator, so any divergence would be a bug in the lookup, not a modelling
+// choice.
+func BuildTable(fn Func, topo topology.Topology) *TableFunc {
+	nodes := topo.Nodes()
+	t := &TableFunc{
+		orig:  fn,
+		nodes: nodes,
+		index: make([]int32, nodes*nodes+1),
+	}
+	scratch := make([]Candidate, 0, 16)
+	for here := 0; here < nodes; here++ {
+		for dst := 0; dst < nodes; dst++ {
+			t.index[here*nodes+dst] = int32(len(t.arena))
+			if here == dst {
+				continue // engines deliver locally; Candidates is never consulted
+			}
+			scratch = fn.Candidates(topology.Node(here), topology.Node(dst), topology.Invalid, 0, scratch[:0])
+			t.arena = append(t.arena, scratch...)
+		}
+	}
+	t.index[nodes*nodes] = int32(len(t.arena))
+	return t
+}
+
+// WithTable returns fn accelerated by a precomputed table when the topology
+// is small enough (Nodes <= maxNodes; pass DefaultTableMaxNodes for the
+// standard gate), and fn unchanged otherwise. Candidate sequences are
+// identical either way.
+func WithTable(fn Func, topo topology.Topology, maxNodes int) Func {
+	if topo.Nodes() > maxNodes {
+		return fn
+	}
+	return BuildTable(fn, topo)
+}
+
+// Oracle returns the algorithmic generator the table was built from.
+func (t *TableFunc) Oracle() Func { return t.orig }
+
+// Name implements Func: a table is an implementation detail, so logs and
+// stats keep reporting the generator's name.
+func (t *TableFunc) Name() string { return t.orig.Name() }
+
+// NumVCs implements Func.
+func (t *TableFunc) NumVCs() int { return t.orig.NumVCs() }
+
+// Escape implements Func. The escape subfunction is consulted only by the
+// static CDG checker, never per cycle, so it stays algorithmic.
+func (t *TableFunc) Escape() Func {
+	esc := t.orig.Escape()
+	if esc == t.orig {
+		return t
+	}
+	return esc
+}
+
+// Candidates implements Func: a slice-view lookup copied into out. The copy
+// (a handful of words) keeps the Func append contract and makes the caller's
+// scratch safely reusable; it allocates nothing once the scratch has grown to
+// the function's widest candidate list.
+func (t *TableFunc) Candidates(here, dst topology.Node, _ topology.LinkID, _ int, out []Candidate) []Candidate {
+	pair := int(here)*t.nodes + int(dst)
+	return append(out, t.arena[t.index[pair]:t.index[pair+1]]...)
+}
+
+// View returns the precomputed candidate list for (here, dst) as a read-only
+// view into the arena — the zero-copy variant for callers that only iterate.
+func (t *TableFunc) View(here, dst topology.Node) []Candidate {
+	pair := int(here)*t.nodes + int(dst)
+	return t.arena[t.index[pair]:t.index[pair+1]:t.index[pair+1]]
+}
+
+// MemoryFootprint returns the table's arena and index sizes in bytes, for
+// diagnostics and the DESIGN.md memory-layout accounting.
+func (t *TableFunc) MemoryFootprint() (arenaBytes, indexBytes int) {
+	return len(t.arena) * int(unsafeSizeofCandidate), len(t.index) * 4
+}
+
+// unsafeSizeofCandidate mirrors unsafe.Sizeof(Candidate{}) without importing
+// unsafe: a LinkID (int) plus an int VC.
+const unsafeSizeofCandidate = 16
+
+var _ Func = (*TableFunc)(nil)
+
+// String aids debugging.
+func (t *TableFunc) String() string {
+	return fmt.Sprintf("table[%s, %d nodes, %d candidates]", t.orig.Name(), t.nodes, len(t.arena))
+}

@@ -1,0 +1,252 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// tableCase enumerates every topology/routing-function combination the table
+// generator supports; the equivalence tests run all of them exhaustively.
+type tableCase struct {
+	label string
+	topo  topology.Topology
+	fns   []string
+}
+
+func tableCases(t *testing.T) []tableCase {
+	t.Helper()
+	hc, err := topology.NewHypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []tableCase{
+		{
+			label: "torus4x4",
+			topo:  topology.MustCube([]int{4, 4}, true),
+			fns:   []string{"dor", "duato", "dor-nodateline"},
+		},
+		{
+			label: "mesh3x3",
+			topo:  topology.MustCube([]int{3, 3}, false),
+			fns:   []string{"dor", "duato", "dor-nodateline", "westfirst", "negativefirst"},
+		},
+		{
+			label: "hypercube3",
+			topo:  hc,
+			fns:   []string{"dor", "duato", "dor-nodateline"},
+		},
+	}
+}
+
+func sameCandidates(a, b []Candidate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTableMatchesOracle checks the tentpole's correctness contract: for
+// every (src, dst, inVC) — and for every incoming link, since the Func
+// contract passes one — the precomputed table returns exactly the candidate
+// sequence the algorithmic oracle computes, element for element and in
+// order. Order matters: the engines take the first free candidate, so any
+// permutation would change simulation results.
+func TestTableMatchesOracle(t *testing.T) {
+	for _, tc := range tableCases(t) {
+		for _, name := range tc.fns {
+			fn, err := New(name, tc.topo, 3)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.label, name, err)
+			}
+			tab := BuildTable(fn, tc.topo)
+			nodes := tc.topo.Nodes()
+			var want, got []Candidate
+			check := func(src, dst topology.Node, inLink topology.LinkID, inVC int) {
+				want = fn.Candidates(src, dst, inLink, inVC, want[:0])
+				got = tab.Candidates(src, dst, inLink, inVC, got[:0])
+				if !sameCandidates(want, got) {
+					t.Fatalf("%s/%s: src=%d dst=%d inLink=%d inVC=%d:\n table %v\noracle %v",
+						tc.label, name, src, dst, inLink, inVC, got, want)
+				}
+			}
+			for src := 0; src < nodes; src++ {
+				for dst := 0; dst < nodes; dst++ {
+					if src == dst {
+						continue
+					}
+					for inVC := 0; inVC < fn.NumVCs(); inVC++ {
+						check(topology.Node(src), topology.Node(dst), topology.Invalid, inVC)
+					}
+					// The implementations are pure in (src, dst); prove the
+					// table lookup is too by sweeping every link into src.
+					for _, l := range topology.AllLinks(tc.topo) {
+						if l.To != topology.Node(src) {
+							continue
+						}
+						check(topology.Node(src), topology.Node(dst), l.ID, 0)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTableViewMatchesCandidates pins the zero-copy View accessor to the
+// append-based lookup.
+func TestTableViewMatchesCandidates(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	fn, err := New("duato", topo, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := BuildTable(fn, topo)
+	var got []Candidate
+	for src := 0; src < topo.Nodes(); src++ {
+		for dst := 0; dst < topo.Nodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			got = tab.Candidates(topology.Node(src), topology.Node(dst), topology.Invalid, 0, got[:0])
+			view := tab.View(topology.Node(src), topology.Node(dst))
+			if !sameCandidates(got, view) {
+				t.Fatalf("View mismatch at src=%d dst=%d", src, dst)
+			}
+		}
+	}
+}
+
+func TestWithTableGate(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	fn, err := New("dor", topo, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := WithTable(fn, topo, 8); got != fn {
+		t.Fatal("WithTable built a table beyond the node gate")
+	}
+	tab, ok := WithTable(fn, topo, DefaultTableMaxNodes).(*TableFunc)
+	if !ok {
+		t.Fatal("WithTable did not build a table under the gate")
+	}
+	if tab.Oracle() != fn {
+		t.Fatal("Oracle is not the generator")
+	}
+	if tab.Name() != fn.Name() || tab.NumVCs() != fn.NumVCs() {
+		t.Fatal("table does not mirror the generator's identity")
+	}
+	// DOR is its own escape, so the table must be too (the CDG checker sees
+	// one function either way).
+	if tab.Escape() != Func(tab) {
+		t.Fatal("self-escape generator did not yield self-escape table")
+	}
+	a, i := tab.MemoryFootprint()
+	if a <= 0 || i <= 0 {
+		t.Fatalf("MemoryFootprint = (%d, %d)", a, i)
+	}
+}
+
+func TestTableEscapeOfSplitFunction(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	fn, err := New("duato", topo, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := BuildTable(fn, topo)
+	if tab.Escape() != fn.Escape() {
+		t.Fatal("table must delegate to the generator's escape subfunction")
+	}
+}
+
+// TestZeroAllocCandidates asserts the hot-path contract of this package:
+// once the caller's scratch slice has grown, Candidates allocates nothing —
+// neither the table lookups nor the algorithmic implementations they were
+// generated from.
+func TestZeroAllocCandidates(t *testing.T) {
+	for _, tc := range tableCases(t) {
+		for _, name := range tc.fns {
+			fn, err := New(name, tc.topo, 3)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.label, name, err)
+			}
+			tab := BuildTable(fn, tc.topo)
+			nodes := tc.topo.Nodes()
+			for _, impl := range []struct {
+				kind string
+				f    Func
+			}{{"algorithmic", fn}, {"table", tab}} {
+				out := make([]Candidate, 0, 64)
+				sweep := func() {
+					for src := 0; src < nodes; src++ {
+						dst := (src + nodes/2 + 1) % nodes
+						if dst == src {
+							continue
+						}
+						out = impl.f.Candidates(topology.Node(src), topology.Node(dst), topology.Invalid, 0, out[:0])
+					}
+				}
+				sweep() // grow the scratch once
+				if allocs := testing.AllocsPerRun(100, sweep); allocs != 0 {
+					t.Errorf("%s/%s/%s: %.1f allocs per sweep, want 0", tc.label, name, impl.kind, allocs)
+				}
+			}
+		}
+	}
+}
+
+func benchCandidates(b *testing.B, fn Func, nodes int) {
+	b.Helper()
+	b.ReportAllocs()
+	out := make([]Candidate, 0, 64)
+	b.ResetTimer() // exclude table construction in the *Table variants
+	for i := 0; i < b.N; i++ {
+		src := i % nodes
+		dst := (src + nodes/2 + 1) % nodes
+		if dst == src {
+			dst = (dst + 1) % nodes
+		}
+		out = fn.Candidates(topology.Node(src), topology.Node(dst), topology.Invalid, 0, out[:0])
+	}
+	_ = out
+}
+
+func BenchmarkCandidatesDuatoAlgorithmic(b *testing.B) {
+	topo := topology.MustCube([]int{8, 8}, true)
+	fn, err := New("duato", topo, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCandidates(b, fn, topo.Nodes())
+}
+
+func BenchmarkCandidatesDuatoTable(b *testing.B) {
+	topo := topology.MustCube([]int{8, 8}, true)
+	fn, err := New("duato", topo, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCandidates(b, BuildTable(fn, topo), topo.Nodes())
+}
+
+func BenchmarkCandidatesDORAlgorithmic(b *testing.B) {
+	topo := topology.MustCube([]int{8, 8}, true)
+	fn, err := New("dor", topo, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCandidates(b, fn, topo.Nodes())
+}
+
+func BenchmarkCandidatesDORTable(b *testing.B) {
+	topo := topology.MustCube([]int{8, 8}, true)
+	fn, err := New("dor", topo, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCandidates(b, BuildTable(fn, topo), topo.Nodes())
+}

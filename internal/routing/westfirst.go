@@ -46,9 +46,8 @@ func (r *WestFirst) Escape() Func { return r }
 
 // Candidates implements Func.
 func (r *WestFirst) Candidates(here, dst topology.Node, _ topology.LinkID, _ int, out []Candidate) []Candidate {
-	offs := make([]int, 2)
-	r.topo.Offsets(here, dst, offs)
-	dx, dy := offs[0], offs[1]
+	dx := r.topo.OffsetAlong(here, dst, 0)
+	dy := r.topo.OffsetAlong(here, dst, 1)
 
 	if dx < 0 {
 		// West first, exclusively: no other direction may be taken while any

@@ -69,6 +69,10 @@ type Topology interface {
 	Wrap() bool
 	// Coord writes the coordinates of n into out (len >= Dims) and returns it.
 	Coord(n Node, out []int) []int
+	// CoordAlong returns the coordinate of n in dimension d without touching
+	// any caller-provided scratch — the zero-allocation accessor hot paths
+	// (dateline classes, routing tables) use instead of Coord.
+	CoordAlong(n Node, d int) int
 	// NodeAt returns the node at the given coordinates.
 	NodeAt(coord []int) Node
 	// Neighbor returns the node reached from n along (dim, dir), and whether
@@ -89,6 +93,9 @@ type Topology interface {
 	// Xi-offset fields: moving one hop in Plus decreases a positive offset by
 	// one (modulo wrap bookkeeping). On tori, ties at distance k/2 take Plus.
 	Offsets(from, to Node, out []int) []int
+	// OffsetAlong returns the single-dimension entry of Offsets without a
+	// scratch slice, for allocation-free routing decisions.
+	OffsetAlong(from, to Node, d int) int
 	// Name returns a human-readable description, e.g. "8-ary 2-cube (torus)".
 	Name() string
 }
@@ -206,10 +213,13 @@ func (c *Cube) NodeAt(coord []int) Node {
 	return Node(v)
 }
 
-// coordAlong returns the coordinate of n in dimension d without allocating.
-func (c *Cube) coordAlong(n Node, d int) int {
+// CoordAlong implements Topology without allocating.
+func (c *Cube) CoordAlong(n Node, d int) int {
 	return (int(n) / c.stride[d]) % c.radix[d]
 }
+
+// coordAlong is the internal alias of CoordAlong.
+func (c *Cube) coordAlong(n Node, d int) int { return c.CoordAlong(n, d) }
 
 // Neighbor implements Topology.
 func (c *Cube) Neighbor(n Node, dim int, dir Dir) (Node, bool) {
@@ -294,6 +304,9 @@ func (c *Cube) offsetAlong(a, b Node, dim int) int {
 	}
 	return diff
 }
+
+// OffsetAlong implements Topology.
+func (c *Cube) OffsetAlong(from, to Node, d int) int { return c.offsetAlong(from, to, d) }
 
 // Offsets implements Topology.
 func (c *Cube) Offsets(from, to Node, out []int) []int {

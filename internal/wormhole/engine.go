@@ -11,6 +11,12 @@
 // a one-cycle link delay. Arbitration uses rotating round-robin priority, so
 // the simulation is deterministic yet starvation-free.
 //
+// The steady-state cycle allocates nothing: in-flight messages live in a
+// dense slot arena recycled through a free-list in delivery order (never a
+// map — recycling order must be canonical for the serial/parallel identity
+// guarantee), injection queues and the credit pipe are head-indexed rings
+// that reset when drained, and per-cycle scratch slices are length-reset.
+//
 // Simplifications relative to hardware, documented per DESIGN.md: credits
 // return instantaneously (zero-cycle credit path), and injection queues are
 // unbounded source queues (latency is measured from injection time, so
@@ -95,6 +101,10 @@ const (
 	vcActive                 // output VC allocated; flits streaming
 )
 
+// noSlot marks a linkVC as carrying no message (slot 0 is a valid arena
+// index).
+const noSlot int32 = -1
+
 // linkVC is the receive-side state of one virtual channel of one physical
 // link, owned by the link's sink router.
 type linkVC struct {
@@ -105,22 +115,88 @@ type linkVC struct {
 	// rcWait counts remaining route-computation cycles for the header at the
 	// front of the buffer (see Params.RouteDelay).
 	rcWait int
-	// curMsg is the message currently traversing this VC (valid while phase
-	// is routing/active); recovery uses it to release aborted allocations.
-	curMsg flit.MsgID
+	// curSlot is the message-arena slot of the message currently traversing
+	// this VC (valid while phase is routing/active, noSlot otherwise);
+	// recovery uses it to release aborted allocations.
+	curSlot int32
+	// headSlots queues the arena slots of the header flits resident in buf,
+	// in arrival order; the front entry identifies the message whose header
+	// routes next. Keeping the slot beside the buffered header replaces the
+	// MsgID lookup the routing path would otherwise need. Head-indexed ring,
+	// reset when drained, so it never allocates in steady state.
+	headSlots []int32
+	hsHead    int
+}
+
+func (v *linkVC) pushHeadSlot(s int32) { v.headSlots = append(v.headSlots, s) }
+
+func (v *linkVC) popHeadSlot() int32 {
+	s := v.headSlots[v.hsHead]
+	v.hsHead++
+	if v.hsHead == len(v.headSlots) {
+		v.headSlots = v.headSlots[:0]
+		v.hsHead = 0
+	}
+	return s
+}
+
+// dropHeadSlot removes every pending occurrence of slot s (recovery scrubs
+// aborted headers), preserving the order of the rest.
+func (v *linkVC) dropHeadSlot(s int32) {
+	out := v.headSlots[:v.hsHead]
+	for _, hs := range v.headSlots[v.hsHead:] {
+		if hs != s {
+			out = append(out, hs)
+		}
+	}
+	v.headSlots = out
+	if v.hsHead == len(v.headSlots) {
+		v.headSlots = v.headSlots[:0]
+		v.hsHead = 0
+	}
 }
 
 // injPort is a node's injection interface: an unbounded source queue of
 // messages plus the progress of the message currently being injected. It
 // behaves as one more input port of the router with NumVCs virtual queues
-// collapsed into one (one flit per cycle may be injected per node).
+// collapsed into one (one flit per cycle may be injected per node). The
+// queue holds arena slot indices, not messages, and is a head-indexed ring:
+// popping advances head, and the backing array is reused once drained, so
+// steady-state injection churn reuses one allocation forever.
 type injPort struct {
-	queue   []flit.Message
-	sent    int // flits of queue[0] already injected
+	queue   []int32
+	head    int
+	sent    int // flits of the front message already injected
 	phase   vcPhase
 	outLink topology.LinkID
 	outVC   int
 	rcWait  int
+}
+
+func (p *injPort) qlen() int    { return len(p.queue) - p.head }
+func (p *injPort) front() int32 { return p.queue[p.head] }
+func (p *injPort) push(s int32) { p.queue = append(p.queue, s) }
+
+func (p *injPort) popFront() {
+	p.head++
+	if p.head == len(p.queue) {
+		p.queue = p.queue[:0]
+		p.head = 0
+	}
+}
+
+// msgSlot is one entry of the in-flight message arena. Recovery bookkeeping
+// lives in the slot rather than in side maps so the per-cycle timeout scan
+// walks the arena in deterministic slot order instead of map order.
+type msgSlot struct {
+	msg  flit.Message
+	live bool
+
+	// Recovery fields (meaningful only while abort-and-retry is enabled).
+	lastProgress int64
+	hasProgress  bool
+	retries      int
+	parked       bool
 }
 
 // Engine simulates wormhole switching over an entire network.
@@ -140,8 +216,17 @@ type Engine struct {
 
 	inj []injPort
 
-	inFlight map[flit.MsgID]flit.Message
-	rr       int // rotating arbitration offset
+	// slots is the in-flight message arena: every injected, undelivered
+	// message occupies one dense slot whose index flows through injection
+	// queues and VC bookkeeping in place of a MsgID-keyed map. freeSlots
+	// recycles indices LIFO in delivery order — a canonical order, so slot
+	// assignment never depends on hashing and the serial and parallel
+	// engines assign identical slots.
+	slots     []msgSlot
+	freeSlots []int32
+	liveSlots int
+
+	rr int // rotating arbitration offset
 
 	// Counters for stats.
 	FlitsMoved     int64
@@ -155,8 +240,10 @@ type Engine struct {
 
 	// creditQueue holds credits in flight back to their upstream routers
 	// (only used when CreditDelay > 0); entries are appended in firing-time
-	// order, so draining pops a prefix.
+	// order, so draining advances creditHead over a prefix and the backing
+	// array resets once empty.
 	creditQueue []pendingCredit
+	creditHead  int
 
 	// recovery is non-nil when abort-and-retry deadlock recovery is enabled.
 	recovery *recoveryState
@@ -172,6 +259,7 @@ type Engine struct {
 	inPortBusy   []bool
 	arrivalsCh   []int32 // channel index receiving a flit this cycle
 	arrivalsFlit []flit.Flit
+	arrivalsSlot []int32 // arena slot of each arriving flit's message
 }
 
 // New constructs an engine for the topology and routing function.
@@ -192,7 +280,6 @@ func New(topo topology.Topology, fn routing.Func, prm Params, hooks Hooks) (*Eng
 		credits:     make([]int, nch),
 		outOwner:    make([]int32, nch),
 		inj:         make([]injPort, topo.Nodes()),
-		inFlight:    make(map[flit.MsgID]flit.Message),
 		outLinkBusy: make([]bool, topo.NumLinkSlots()),
 		inPortBusy:  make([]bool, topo.NumLinkSlots()+topo.Nodes()),
 		LinkFlits:   make([]int64, topo.NumLinkSlots()),
@@ -200,6 +287,7 @@ func New(topo topology.Topology, fn routing.Func, prm Params, hooks Hooks) (*Eng
 	for i := range e.in {
 		e.in[i].buf = buffer.NewFIFO(prm.BufDepth)
 		e.in[i].outLink = topology.Invalid
+		e.in[i].curSlot = noSlot
 		e.credits[i] = prm.BufDepth
 		e.outOwner[i] = -1
 	}
@@ -218,29 +306,54 @@ func (e *Engine) numLinkInputs() int { return len(e.in) }
 // injInput returns the global input-port index of node n's injection port.
 func (e *Engine) injInput(n topology.Node) int32 { return int32(e.numLinkInputs() + int(n)) }
 
+// allocSlot places m in the arena and returns its slot.
+func (e *Engine) allocSlot(m flit.Message) int32 {
+	var s int32
+	if n := len(e.freeSlots); n > 0 {
+		s = e.freeSlots[n-1]
+		e.freeSlots = e.freeSlots[:n-1]
+	} else {
+		e.slots = append(e.slots, msgSlot{})
+		s = int32(len(e.slots) - 1)
+	}
+	e.slots[s] = msgSlot{msg: m, live: true}
+	e.liveSlots++
+	return s
+}
+
+// freeSlot recycles a delivered message's slot.
+func (e *Engine) freeSlot(s int32) {
+	e.slots[s] = msgSlot{}
+	e.freeSlots = append(e.freeSlots, s)
+	e.liveSlots--
+}
+
 // Inject queues a message at its source node. The message's InjectTime should
 // already be set by the caller.
 func (e *Engine) Inject(m flit.Message) {
 	if m.Len <= 0 {
 		panic("wormhole: injecting empty message")
 	}
+	s := e.allocSlot(m)
 	p := &e.inj[m.Src]
-	p.queue = append(p.queue, m)
+	p.push(s)
 	if p.phase == vcIdle {
 		p.phase = vcRouting
 		p.rcWait = e.prm.RouteDelay
 	}
-	e.inFlight[m.ID] = m
 }
 
 // InFlight returns the number of messages injected but not yet delivered.
-func (e *Engine) InFlight() int { return len(e.inFlight) }
+func (e *Engine) InFlight() int { return e.liveSlots }
 
 // OldestAge returns the age of the oldest in-flight message.
 func (e *Engine) OldestAge(now int64) int64 {
 	var oldest int64
-	for _, m := range e.inFlight {
-		if age := now - m.InjectTime; age > oldest {
+	for i := range e.slots {
+		if !e.slots[i].live {
+			continue
+		}
+		if age := now - e.slots[i].msg.InjectTime; age > oldest {
 			oldest = age
 		}
 	}
@@ -249,7 +362,7 @@ func (e *Engine) OldestAge(now int64) int64 {
 
 // QueueLen returns the source-queue length at node n (including the message
 // currently being injected).
-func (e *Engine) QueueLen(n topology.Node) int { return len(e.inj[n].queue) }
+func (e *Engine) QueueLen(n topology.Node) int { return e.inj[n].qlen() }
 
 // Cycle advances the whole wormhole network by one clock.
 func (e *Engine) Cycle(now int64) {
@@ -274,12 +387,14 @@ func (e *Engine) returnCredit(ch int32, now int64) {
 
 // drainCredits applies every credit whose travel time has elapsed.
 func (e *Engine) drainCredits(now int64) {
-	i := 0
+	i := e.creditHead
 	for ; i < len(e.creditQueue) && e.creditQueue[i].at <= now; i++ {
 		e.credits[e.creditQueue[i].ch]++
 	}
-	if i > 0 {
-		e.creditQueue = e.creditQueue[i:]
+	e.creditHead = i
+	if e.creditHead == len(e.creditQueue) {
+		e.creditQueue = e.creditQueue[:0]
+		e.creditHead = 0
 	}
 }
 
@@ -298,7 +413,7 @@ func (e *Engine) allocate(now int64) {
 	}
 }
 
-// headerAt resolves routing for a header at `here` and claims an output
+// claimOutput resolves routing for a header at `here` and claims an output
 // channel. Returns (outLink, outVC, ok).
 func (e *Engine) claimOutput(here topology.Node, dst int, inLink topology.LinkID, inVC int, owner int32) (topology.LinkID, int, bool) {
 	e.cands = e.fn.Candidates(here, topology.Node(dst), inLink, inVC, e.cands[:0])
@@ -338,27 +453,27 @@ func (e *Engine) allocateLinkVC(port int32) {
 	if int(here) == head.Dst {
 		v.phase = vcActive
 		v.outLink = topology.Invalid // deliver locally
-		v.curMsg = head.Msg
+		v.curSlot = v.popHeadSlot()
 		return
 	}
 	if outLink, outVC, claimed := e.claimOutput(here, head.Dst, link, inVC, port); claimed {
 		v.phase = vcActive
 		v.outLink = outLink
 		v.outVC = outVC
-		v.curMsg = head.Msg
+		v.curSlot = v.popHeadSlot()
 	}
 }
 
 func (e *Engine) allocateInjection(n topology.Node) {
 	p := &e.inj[n]
-	if p.phase != vcRouting || len(p.queue) == 0 {
+	if p.phase != vcRouting || p.qlen() == 0 {
 		return
 	}
 	if p.rcWait > 0 {
 		p.rcWait--
 		return
 	}
-	m := p.queue[0]
+	m := e.slots[p.front()].msg
 	if m.Dst == int(n) {
 		p.phase = vcActive
 		p.outLink = topology.Invalid // self-send delivers locally
@@ -383,6 +498,7 @@ func (e *Engine) switchAndTraverse(now int64) {
 	}
 	e.arrivalsCh = e.arrivalsCh[:0]
 	e.arrivalsFlit = e.arrivalsFlit[:0]
+	e.arrivalsSlot = e.arrivalsSlot[:0]
 
 	total := e.numLinkInputs() + len(e.inj)
 	for i := 0; i < total; i++ {
@@ -395,9 +511,10 @@ func (e *Engine) switchAndTraverse(now int64) {
 	}
 }
 
-// sendFlit tries to move fl from input port `port` to (outLink, outVC); it
-// returns false if the physical link, input port or credits forbid it.
-func (e *Engine) sendFlit(port int32, fl flit.Flit, outLink topology.LinkID, outVC int) bool {
+// sendFlit tries to move fl (of the message in arena slot `slot`) from input
+// port `port` to (outLink, outVC); it returns false if the physical link,
+// input port or credits forbid it.
+func (e *Engine) sendFlit(port int32, fl flit.Flit, slot int32, outLink topology.LinkID, outVC int) bool {
 	if e.inPortBusy[e.inPortIndex(port)] {
 		return false
 	}
@@ -413,9 +530,10 @@ func (e *Engine) sendFlit(port int32, fl flit.Flit, outLink topology.LinkID, out
 	e.inPortBusy[e.inPortIndex(port)] = true
 	e.arrivalsCh = append(e.arrivalsCh, int32(idx))
 	e.arrivalsFlit = append(e.arrivalsFlit, fl)
+	e.arrivalsSlot = append(e.arrivalsSlot, slot)
 	e.FlitsMoved++
 	e.LinkFlits[outLink]++
-	e.noteProgress(fl.Msg, e.now)
+	e.noteProgress(slot, e.now)
 	if e.hooks.Progress != nil {
 		e.hooks.Progress()
 	}
@@ -446,19 +564,19 @@ func (e *Engine) traverseLinkVC(port int32, now int64) {
 		v.buf.Pop()
 		e.returnCredit(port, now)
 		e.inPortBusy[e.inPortIndex(port)] = true
-		e.deliverFlit(fl, now)
-		e.afterFlitLeft(v, fl, int32(port))
+		e.deliverFlit(fl, v.curSlot, now)
+		e.afterFlitLeft(v, fl)
 		return
 	}
-	if e.sendFlit(port, fl, v.outLink, v.outVC) {
+	if e.sendFlit(port, fl, v.curSlot, v.outLink, v.outVC) {
 		v.buf.Pop()
 		e.returnCredit(port, now)
-		e.afterFlitLeft(v, fl, int32(port))
+		e.afterFlitLeft(v, fl)
 	}
 }
 
 // afterFlitLeft updates VC bookkeeping once a flit has left an input VC.
-func (e *Engine) afterFlitLeft(v *linkVC, fl flit.Flit, port int32) {
+func (e *Engine) afterFlitLeft(v *linkVC, fl flit.Flit) {
 	if !fl.Kind.IsTail() {
 		return
 	}
@@ -468,7 +586,7 @@ func (e *Engine) afterFlitLeft(v *linkVC, fl flit.Flit, port int32) {
 	}
 	v.outLink = topology.Invalid
 	v.outVC = 0
-	v.curMsg = 0
+	v.curSlot = noSlot
 	if v.buf.Empty() {
 		v.phase = vcIdle
 	} else {
@@ -479,11 +597,12 @@ func (e *Engine) afterFlitLeft(v *linkVC, fl flit.Flit, port int32) {
 
 func (e *Engine) traverseInjection(n topology.Node, now int64) {
 	p := &e.inj[n]
-	if p.phase != vcActive || len(p.queue) == 0 {
+	if p.phase != vcActive || p.qlen() == 0 {
 		return
 	}
-	m := p.queue[0]
-	fl := flitOf(m, p.sent)
+	slot := p.front()
+	m := e.slots[slot].msg
+	fl := m.FlitAt(p.sent)
 	port := e.injInput(n)
 	if p.outLink == topology.Invalid {
 		// Self-send: deliver directly.
@@ -492,7 +611,7 @@ func (e *Engine) traverseInjection(n topology.Node, now int64) {
 		}
 		e.inPortBusy[e.inPortIndex(port)] = true
 		p.sent++
-		e.deliverFlit(fl, now)
+		e.deliverFlit(fl, slot, now)
 		if e.hooks.Progress != nil {
 			e.hooks.Progress()
 		}
@@ -500,7 +619,7 @@ func (e *Engine) traverseInjection(n topology.Node, now int64) {
 		e.afterInjectionFlit(p, fl)
 		return
 	}
-	if e.sendFlit(port, fl, p.outLink, p.outVC) {
+	if e.sendFlit(port, fl, slot, p.outLink, p.outVC) {
 		p.sent++
 		e.afterInjectionFlit(p, fl)
 	}
@@ -513,11 +632,11 @@ func (e *Engine) afterInjectionFlit(p *injPort, fl flit.Flit) {
 	if p.outLink != topology.Invalid {
 		e.outOwner[e.ch(p.outLink, p.outVC)] = -1
 	}
-	p.queue = p.queue[1:]
+	p.popFront()
 	p.sent = 0
 	p.outLink = topology.Invalid
 	p.outVC = 0
-	if len(p.queue) == 0 {
+	if p.qlen() == 0 {
 		p.phase = vcIdle
 	} else {
 		p.phase = vcRouting
@@ -525,22 +644,10 @@ func (e *Engine) afterInjectionFlit(p *injPort, fl flit.Flit) {
 	}
 }
 
-// flitOf materialises flit i of message m without storing whole messages as
-// flit slices.
-func flitOf(m flit.Message, i int) flit.Flit {
-	k := flit.Body
-	switch {
-	case m.Len == 1:
-		k = flit.HeadTail
-	case i == 0:
-		k = flit.Head
-	case i == m.Len-1:
-		k = flit.Tail
-	}
-	return flit.Flit{Kind: k, Msg: m.ID, Src: m.Src, Dst: m.Dst, Seq: i}
-}
-
-func (e *Engine) deliverFlit(fl flit.Flit, now int64) {
+// deliverFlit consumes a flit at its destination. `slot` is the arena slot of
+// the flit's message (known to the caller from its VC or injection state, so
+// no lookup is needed).
+func (e *Engine) deliverFlit(fl flit.Flit, slot int32, now int64) {
 	e.FlitsDelivered++
 	if e.flitProbe != nil {
 		e.flitProbe(fl)
@@ -548,15 +655,12 @@ func (e *Engine) deliverFlit(fl flit.Flit, now int64) {
 	if !fl.Kind.IsTail() {
 		return
 	}
-	m, ok := e.inFlight[fl.Msg]
-	if !ok {
+	sl := &e.slots[slot]
+	if !sl.live || sl.msg.ID != fl.Msg {
 		panic(fmt.Sprintf("wormhole: delivered unknown message %d", fl.Msg))
 	}
-	delete(e.inFlight, fl.Msg)
-	if e.recovery != nil {
-		delete(e.recovery.lastProgress, fl.Msg)
-		delete(e.recovery.retries, fl.Msg)
-	}
+	m := sl.msg
+	e.freeSlot(slot)
 	e.MsgsDelivered++
 	if e.hooks.Delivered != nil {
 		e.hooks.Delivered(m, now)
@@ -568,8 +672,12 @@ func (e *Engine) deliverFlit(fl flit.Flit, now int64) {
 // delay (a flit cannot cross two links in one cycle).
 func (e *Engine) commitArrivals() {
 	for i, ch := range e.arrivalsCh {
-		if !e.in[ch].buf.Push(e.arrivalsFlit[i]) {
+		fl := e.arrivalsFlit[i]
+		if !e.in[ch].buf.Push(fl) {
 			panic("wormhole: buffer overflow despite credit check")
+		}
+		if fl.Kind.IsHead() {
+			e.in[ch].pushHeadSlot(e.arrivalsSlot[i])
 		}
 		if e.in[ch].phase == vcIdle {
 			e.in[ch].phase = vcRouting
@@ -580,14 +688,18 @@ func (e *Engine) commitArrivals() {
 
 // Quiesce reports whether the engine holds no work at all (used by drain
 // loops in tests and experiments).
-func (e *Engine) Quiesce() bool { return len(e.inFlight) == 0 }
+func (e *Engine) Quiesce() bool { return e.liveSlots == 0 }
 
 // DebugDump prints internal engine state for stuck-network diagnosis. It is
 // test-only scaffolding.
 func (e *Engine) DebugDump() {
 	fmt.Println("=== wormhole debug dump ===")
-	for id, m := range e.inFlight {
-		fmt.Printf("in-flight msg %d: src=%d dst=%d len=%d\n", id, m.Src, m.Dst, m.Len)
+	for s := range e.slots {
+		if !e.slots[s].live {
+			continue
+		}
+		m := e.slots[s].msg
+		fmt.Printf("in-flight msg %d (slot %d): src=%d dst=%d len=%d\n", m.ID, s, m.Src, m.Dst, m.Len)
 	}
 	for i := range e.in {
 		v := &e.in[i]
@@ -606,10 +718,10 @@ func (e *Engine) DebugDump() {
 	}
 	for n := range e.inj {
 		p := &e.inj[n]
-		if p.phase == vcIdle && len(p.queue) == 0 {
+		if p.phase == vcIdle && p.qlen() == 0 {
 			continue
 		}
-		fmt.Printf("inj node=%d phase=%d queue=%d sent=%d out=(%d,%d)\n", n, p.phase, len(p.queue), p.sent, p.outLink, p.outVC)
+		fmt.Printf("inj node=%d phase=%d queue=%d sent=%d out=(%d,%d)\n", n, p.phase, p.qlen(), p.sent, p.outLink, p.outVC)
 		if p.outLink != topology.Invalid {
 			fmt.Printf("  outOwner=%d credits=%d\n", e.outOwner[e.ch(p.outLink, p.outVC)], e.credits[e.ch(p.outLink, p.outVC)])
 		}

@@ -136,7 +136,7 @@ func (e *Engine) PrepareRange(worker, lo, hi int) {
 		} else {
 			n := topology.Node(port - nLink)
 			ip := &e.inj[n]
-			if len(ip.queue) == 0 {
+			if ip.qlen() == 0 {
 				continue
 			}
 			switch ip.phase {
@@ -145,7 +145,7 @@ func (e *Engine) PrepareRange(worker, lo, hi int) {
 					ip.rcWait--
 					continue
 				}
-				m := ip.queue[0]
+				m := e.slots[ip.front()].msg
 				if m.Dst == int(n) {
 					setBit(p.allocW[worker], port)
 					continue
@@ -176,7 +176,7 @@ func (e *Engine) commitAlloc(port int) {
 		if int(l.To) == head.Dst {
 			v.phase = vcActive
 			v.outLink = topology.Invalid
-			v.curMsg = head.Msg
+			v.curSlot = v.popHeadSlot()
 			setBit(p.move, port)
 			return
 		}
@@ -187,7 +187,7 @@ func (e *Engine) commitAlloc(port int) {
 				v.phase = vcActive
 				v.outLink = c.Link
 				v.outVC = c.VC
-				v.curMsg = head.Msg
+				v.curSlot = v.popHeadSlot()
 				setBit(p.move, port)
 				return
 			}
@@ -196,7 +196,7 @@ func (e *Engine) commitAlloc(port int) {
 	}
 	n := topology.Node(port - e.numLinkInputs())
 	ip := &e.inj[n]
-	m := ip.queue[0]
+	m := e.slots[ip.front()].msg
 	if m.Dst == int(n) {
 		ip.phase = vcActive
 		ip.outLink = topology.Invalid
@@ -242,6 +242,7 @@ func (e *Engine) CommitCycle(now int64) {
 	}
 	e.arrivalsCh = e.arrivalsCh[:0]
 	e.arrivalsFlit = e.arrivalsFlit[:0]
+	e.arrivalsSlot = e.arrivalsSlot[:0]
 	forEachSet(p.move, total, start, func(port int) {
 		if port < e.numLinkInputs() {
 			e.traverseLinkVC(int32(port), now)

@@ -9,6 +9,11 @@ package wormhole
 // a deterministic per-message backoff. This permits deliberately unsafe
 // routing functions (routing.DORNoDateline) whose dependency graphs are
 // cyclic — deadlocks then actually form and are actually broken.
+//
+// All bookkeeping lives in the message arena (msgSlot fields), not in
+// MsgID-keyed maps: the timeout scan walks slots in index order, which is
+// deterministic across runs — map iteration order is not — and allocates
+// nothing.
 
 import (
 	"fmt"
@@ -30,21 +35,16 @@ type RecoveryParams struct {
 // recoveryState is the engine's per-run recovery bookkeeping.
 type recoveryState struct {
 	prm RecoveryParams
-	// lastProgress is the cycle any flit of the message last moved.
-	lastProgress map[flit.MsgID]int64
-	// retries drives the per-message backoff.
-	retries map[flit.MsgID]int
-	// parked holds aborted messages waiting out their backoff; parkedIDs
-	// guards against aborting a message that is already out of the network.
-	parked    []parkedMsg
-	parkedIDs map[flit.MsgID]bool
+	// parked holds the arena slots of aborted messages waiting out their
+	// backoff (the slot's parked flag guards against double aborts).
+	parked []parkedSlot
 
 	// Aborts counts recovery events.
 	Aborts int64
 }
 
-type parkedMsg struct {
-	msg     flit.Message
+type parkedSlot struct {
+	slot    int32
 	readyAt int64
 }
 
@@ -57,12 +57,7 @@ func (e *Engine) EnableRecovery(prm RecoveryParams) error {
 	if prm.MaxBackoff <= 0 {
 		prm.MaxBackoff = prm.Timeout * 8
 	}
-	e.recovery = &recoveryState{
-		prm:          prm,
-		lastProgress: make(map[flit.MsgID]int64),
-		retries:      make(map[flit.MsgID]int),
-		parkedIDs:    make(map[flit.MsgID]bool),
-	}
+	e.recovery = &recoveryState{prm: prm}
 	return nil
 }
 
@@ -75,9 +70,11 @@ func (e *Engine) RecoveryAborts() int64 {
 }
 
 // noteProgress records flit movement for the recovery timer.
-func (e *Engine) noteProgress(id flit.MsgID, now int64) {
+func (e *Engine) noteProgress(slot int32, now int64) {
 	if e.recovery != nil {
-		e.recovery.lastProgress[id] = now
+		sl := &e.slots[slot]
+		sl.lastProgress = now
+		sl.hasProgress = true
 	}
 }
 
@@ -92,61 +89,67 @@ func (e *Engine) stepRecovery(now int64) {
 	kept := r.parked[:0]
 	for _, p := range r.parked {
 		if p.readyAt <= now {
-			port := &e.inj[p.msg.Src]
-			port.queue = append(port.queue, p.msg)
+			sl := &e.slots[p.slot]
+			port := &e.inj[sl.msg.Src]
+			port.push(p.slot)
 			if port.phase == vcIdle {
 				port.phase = vcRouting
 				port.rcWait = e.prm.RouteDelay
 			}
-			r.lastProgress[p.msg.ID] = now
-			delete(r.parkedIDs, p.msg.ID)
+			sl.lastProgress = now
+			sl.hasProgress = true
+			sl.parked = false
 		} else {
 			kept = append(kept, p)
 		}
 	}
 	r.parked = kept
 
-	// Timeout scan. Only messages holding network resources are aborted; a
-	// message still entirely in its source queue holds nothing and cannot be
-	// part of a deadlock.
-	for id, m := range e.inFlight {
-		if r.parkedIDs[id] {
-			continue // already out of the network, waiting out its backoff
+	// Timeout scan in slot order. Only messages holding network resources are
+	// aborted; a message still entirely in its source queue holds nothing and
+	// cannot be part of a deadlock.
+	for s := range e.slots {
+		sl := &e.slots[s]
+		if !sl.live || sl.parked {
+			continue // free slot, or already out of the network on backoff
 		}
-		last, seen := r.lastProgress[id]
-		if !seen {
-			r.lastProgress[id] = now
+		if !sl.hasProgress {
+			sl.lastProgress = now
+			sl.hasProgress = true
 			continue
 		}
-		if now-last <= r.prm.Timeout {
+		if now-sl.lastProgress <= r.prm.Timeout {
 			continue
 		}
-		if !e.holdsNetworkResources(m) {
-			r.lastProgress[id] = now // nothing to free; keep waiting
+		if !e.holdsNetworkResources(int32(s)) {
+			sl.lastProgress = now // nothing to free; keep waiting
 			continue
 		}
-		e.abort(m, now)
+		e.abort(int32(s), now)
 	}
 }
 
-// holdsNetworkResources reports whether any flit of m occupies a channel
-// buffer or the message is mid-injection.
-func (e *Engine) holdsNetworkResources(m flit.Message) bool {
-	p := &e.inj[m.Src]
-	for qi, qm := range p.queue {
-		if qm.ID == m.ID {
-			return qi == 0 && p.sent > 0
+// holdsNetworkResources reports whether any flit of the message in slot s
+// occupies a channel buffer or the message is mid-injection.
+func (e *Engine) holdsNetworkResources(s int32) bool {
+	p := &e.inj[e.slots[s].msg.Src]
+	for qi := p.head; qi < len(p.queue); qi++ {
+		if p.queue[qi] == s {
+			return qi == p.head && p.sent > 0
 		}
 	}
 	// Not in the source queue at all: its flits are in the network.
 	return true
 }
 
-// abort removes every flit of m from the network, releases its channel
-// state, and parks the message for a deterministic backoff.
-func (e *Engine) abort(m flit.Message, now int64) {
+// abort removes every flit of the message in slot s from the network,
+// releases its channel state, and parks the message for a deterministic
+// backoff.
+func (e *Engine) abort(s int32, now int64) {
 	r := e.recovery
 	r.Aborts++
+	sl := &e.slots[s]
+	m := sl.msg
 
 	// 1. Scrub link VC buffers.
 	for ch := range e.in {
@@ -155,15 +158,16 @@ func (e *Engine) abort(m flit.Message, now int64) {
 		if removed > 0 {
 			e.credits[ch] += removed
 		}
+		v.dropHeadSlot(s)
 		// If this VC was carrying m (its current message), release its
 		// output allocation and recycle the VC for whatever is behind.
-		if v.phase != vcIdle && v.curMsg == m.ID {
+		if v.phase != vcIdle && v.curSlot == s {
 			if v.outLink != topology.Invalid {
 				e.outOwner[e.ch(v.outLink, v.outVC)] = -1
 			}
 			v.outLink = topology.Invalid
 			v.outVC = 0
-			v.curMsg = 0
+			v.curSlot = noSlot
 			if v.buf.Empty() {
 				v.phase = vcIdle
 			} else {
@@ -175,11 +179,12 @@ func (e *Engine) abort(m flit.Message, now int64) {
 
 	// 2. Source injection port.
 	p := &e.inj[m.Src]
-	for qi, qm := range p.queue {
-		if qm.ID != m.ID {
+	for qi := p.head; qi < len(p.queue); qi++ {
+		if p.queue[qi] != s {
 			continue
 		}
-		if qi == 0 {
+		atFront := qi == p.head
+		if atFront {
 			if p.outLink != topology.Invalid {
 				e.outOwner[e.ch(p.outLink, p.outVC)] = -1
 			}
@@ -188,9 +193,11 @@ func (e *Engine) abort(m flit.Message, now int64) {
 			p.sent = 0
 		}
 		p.queue = append(p.queue[:qi], p.queue[qi+1:]...)
-		if len(p.queue) == 0 {
+		if p.qlen() == 0 {
+			p.queue = p.queue[:0]
+			p.head = 0
 			p.phase = vcIdle
-		} else if qi == 0 {
+		} else if atFront {
 			p.phase = vcRouting
 			p.rcWait = e.prm.RouteDelay
 		}
@@ -199,15 +206,15 @@ func (e *Engine) abort(m flit.Message, now int64) {
 
 	// 3. Park with deterministic, message-staggered backoff (identical
 	// simultaneous retries would re-collide forever).
-	tries := r.retries[m.ID]
-	r.retries[m.ID] = tries + 1
+	tries := sl.retries
+	sl.retries = tries + 1
 	backoff := r.prm.Timeout/2 + int64(tries)*r.prm.Timeout + int64(m.ID%13)*3
 	if backoff > r.prm.MaxBackoff {
 		backoff = r.prm.MaxBackoff
 	}
-	r.parked = append(r.parked, parkedMsg{msg: m, readyAt: now + backoff})
-	r.parkedIDs[m.ID] = true
-	delete(r.lastProgress, m.ID)
+	r.parked = append(r.parked, parkedSlot{slot: s, readyAt: now + backoff})
+	sl.parked = true
+	sl.hasProgress = false
 	if e.hooks.Progress != nil {
 		e.hooks.Progress() // an abort is forward progress for the watchdog
 	}

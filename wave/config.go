@@ -111,6 +111,13 @@ type Config struct {
 	// (experiment E18): all probes start at wave switch S1.
 	NoSwitchSpread bool
 
+	// DisableRoutingTable routes headers through the algorithmic routing
+	// implementation instead of the precomputed (here, dst) candidate table
+	// built at simulator construction. Results are bit-identical either way;
+	// the flag exists for oracle cross-checks and for bounding memory on
+	// hosts where the Nodes^2 table is unwelcome.
+	DisableRoutingTable bool
+
 	// Seed drives all randomness; equal seeds give bit-identical runs.
 	Seed uint64
 
@@ -153,21 +160,22 @@ func DefaultConfig() Config {
 // coreParams lowers the public config to the fabric parameters.
 func (c Config) coreParams() core.Params {
 	return core.Params{
-		NumVCs:          c.NumVCs,
-		BufDepth:        c.BufDepth,
-		CreditDelay:     c.CreditDelay,
-		RouteDelay:      c.RouteDelay,
-		RecoveryTimeout: c.RecoveryTimeout,
-		Routing:         c.Routing,
-		NumSwitches:     c.NumSwitches,
-		MaxMisroutes:    c.MaxMisroutes,
-		WaveClockMult:   c.WaveClockMult,
-		CacheCapacity:   c.CacheCapacity,
-		ReplacePolicy:   c.ReplacePolicy,
-		WindowFlits:     c.WindowFlits,
-		InitialBufFlits: c.InitialBufFlits,
-		ReallocPenalty:  c.ReallocPenalty,
-		Seed:            c.Seed,
-		Workers:         c.Workers,
+		NumVCs:              c.NumVCs,
+		BufDepth:            c.BufDepth,
+		CreditDelay:         c.CreditDelay,
+		RouteDelay:          c.RouteDelay,
+		RecoveryTimeout:     c.RecoveryTimeout,
+		Routing:             c.Routing,
+		NumSwitches:         c.NumSwitches,
+		MaxMisroutes:        c.MaxMisroutes,
+		WaveClockMult:       c.WaveClockMult,
+		CacheCapacity:       c.CacheCapacity,
+		ReplacePolicy:       c.ReplacePolicy,
+		WindowFlits:         c.WindowFlits,
+		InitialBufFlits:     c.InitialBufFlits,
+		ReallocPenalty:      c.ReallocPenalty,
+		DisableRoutingTable: c.DisableRoutingTable,
+		Seed:                c.Seed,
+		Workers:             c.Workers,
 	}
 }
