@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/experiments"
@@ -20,10 +21,10 @@ func benchParams() experiments.Params {
 	return p
 }
 
-func benchExperiment(b *testing.B, fn func(experiments.Params) (*experiments.Report, error)) {
+func benchExperiment(b *testing.B, fn func(context.Context, experiments.Params) (*experiments.Report, error)) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := fn(benchParams()); err != nil {
+		if _, err := fn(context.Background(), benchParams()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// syncBuffer keeps the daemon's log writes race-free with test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestDaemonEndToEnd boots the daemon on an ephemeral port, exercises the
+// API over real TCP, then stops it via context cancellation (the SIGINT
+// path) and verifies a clean exit.
+func TestDaemonEndToEnd(t *testing.T) {
+	out := &syncBuffer{}
+	d, err := newDaemon(server.Config{Workers: 2, QueueCap: 4}, "127.0.0.1:0", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- d.serve(ctx, 10*time.Second) }()
+	base := "http://" + d.addr()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	spec := `{
+		"kind": "load",
+		"config": {"topology": {"kind": "torus", "radix": [4, 4]}, "seed": 4},
+		"load": {"pattern": "uniform", "load": 0.05, "fixedlength": 16},
+		"warmup": 100, "measure": 3000, "interval_cycles": 100
+	}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var view struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stream blocks until the job completes and ends with a done line.
+	resp, err = http.Get(base + "/v1/jobs/" + view.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lines := bytes.Split(bytes.TrimSpace(stream), []byte("\n"))
+	for _, ln := range lines {
+		if !json.Valid(ln) {
+			t.Fatalf("invalid NDJSON line %q", ln)
+		}
+	}
+	var last struct {
+		Type  string `json:"type"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Type != "done" || last.State != "done" {
+		t.Fatalf("stream ended with %+v", last)
+	}
+
+	stop() // deliver the "signal"
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not stop")
+	}
+	log := out.String()
+	for _, want := range []string{"listening on", "shutting down", "stopped"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("log %q missing %q", log, want)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-no-such-flag"}, io.Discard); err == nil {
+		t.Fatal("bad flags accepted")
+	}
+}

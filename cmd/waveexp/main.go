@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -75,7 +76,7 @@ func run(args []string, out io.Writer) error {
 			continue
 		}
 		start := time.Now()
-		rep, err := e.Fn(p)
+		rep, err := e.Fn(context.Background(), p)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
@@ -138,7 +139,7 @@ func runHeadline(out io.Writer, reps int, seed uint64, quick bool) error {
 		}
 		return wh / wv, nil
 	}
-	mean, ci, err := experiments.Replicate(reps, seed, gain)
+	mean, ci, err := experiments.Replicate(context.Background(), reps, seed, gain)
 	if err != nil {
 		return err
 	}

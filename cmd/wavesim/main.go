@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -62,6 +63,7 @@ func run(args []string, out io.Writer) error {
 		noCirc  = fs.Bool("nocircuit", false, "CARP: send without requesting the circuit")
 		minCirc = fs.Int("mincircuit", 0, "CLRP: route messages shorter than this by wormhole (0 = off)")
 
+		timeout = fs.Duration("timeout", 0, "abort the run after this wall-clock time (0 = no limit); a timed-out run exits non-zero")
 		warmup  = fs.Int64("warmup", 2000, "warm-up cycles (excluded from stats)")
 		measure = fs.Int64("measure", 10000, "measured cycles")
 		faults  = fs.Int("faults", 0, "random faulty wave channels injected before the run")
@@ -133,6 +135,13 @@ func run(args []string, out io.Writer) error {
 		cfg.Topology = wave.TopologyConfig{Kind: *topoKind, Radix: r}
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	sim, err := wave.New(cfg)
 	if err != nil {
 		return err
@@ -148,11 +157,11 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *tracePath != "" {
-		return runTrace(sim, *tracePath, out)
+		return runTrace(ctx, sim, *tracePath, out)
 	}
 
 	if *compare {
-		return runCompare(out, cfg, wave.Workload{
+		return runCompare(ctx, out, cfg, wave.Workload{
 			Pattern:      *pattern,
 			Load:         *load,
 			FixedLength:  *msgLen,
@@ -164,7 +173,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *closed {
-		res, err := sim.RunClosedLoop(wave.ClosedWorkload{
+		res, err := sim.RunClosedLoopContext(ctx, wave.ClosedWorkload{
 			Pattern:      *pattern,
 			WorkingSet:   *wset,
 			Reuse:        *reuse,
@@ -193,7 +202,7 @@ func run(args []string, out io.Writer) error {
 	if *hist {
 		sim.OnDelivered(func(d wave.Delivery) { lat = append(lat, d.Latency()) })
 	}
-	res, err := sim.RunLoad(wave.Workload{
+	res, err := sim.RunLoadContext(ctx, wave.Workload{
 		Pattern:      *pattern,
 		Load:         *load,
 		FixedLength:  *msgLen,
@@ -292,7 +301,7 @@ func parseRadix(s string) ([]int, error) {
 }
 
 // runCompare runs the same workload under every protocol on fresh networks.
-func runCompare(out io.Writer, cfg wave.Config, w wave.Workload, warmup, measure int64) error {
+func runCompare(ctx context.Context, out io.Writer, cfg wave.Config, w wave.Workload, warmup, measure int64) error {
 	fmt.Fprintf(out, "%-10s %-10s %-8s %-10s %-9s %-9s\n",
 		"protocol", "avg-lat", "p99", "throughput", "circuits", "hit-rate")
 	for _, proto := range []string{"wormhole", "pcs", "clrp", "carp"} {
@@ -302,7 +311,7 @@ func runCompare(out io.Writer, cfg wave.Config, w wave.Workload, warmup, measure
 		if err != nil {
 			return err
 		}
-		res, err := sim.RunLoad(w, warmup, measure)
+		res, err := sim.RunLoadContext(ctx, w, warmup, measure)
 		sim.Close()
 		if err != nil {
 			return fmt.Errorf("%s: %w", proto, err)
@@ -315,7 +324,7 @@ func runCompare(out io.Writer, cfg wave.Config, w wave.Workload, warmup, measure
 	return nil
 }
 
-func runTrace(sim *wave.Simulator, path string, out io.Writer) error {
+func runTrace(ctx context.Context, sim *wave.Simulator, path string, out io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -330,7 +339,7 @@ func runTrace(sim *wave.Simulator, path string, out io.Writer) error {
 			viaCircuit++
 		}
 	})
-	if err := sim.RunProgram(f, 10_000_000); err != nil {
+	if err := sim.RunProgramContext(ctx, f, 10_000_000); err != nil {
 		return err
 	}
 	avg := 0.0

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -203,5 +205,33 @@ func TestRunRecoveryRouting(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "delivered") {
 		t.Fatal("no results")
+	}
+}
+
+// TestTimeoutFlag: a run that cannot finish inside -timeout exits with a
+// deadline error instead of hanging.
+func TestTimeoutFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-radix", "4x4", "-warmup", "0",
+		"-measure", "2000000000", "-timeout", "50ms"}, &out)
+	if err == nil {
+		t.Fatal("timed-out run reported success")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestTimeoutFlagGenerous: a comfortable budget does not perturb a normal
+// run.
+func TestTimeoutFlagGenerous(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-radix", "4x4", "-warmup", "200", "-measure", "1500",
+		"-timeout", "5m"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "throughput") {
+		t.Fatalf("output truncated:\n%s", out.String())
 	}
 }

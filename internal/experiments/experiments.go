@@ -9,10 +9,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/msglayer"
 	"repro/internal/stats"
@@ -31,6 +33,13 @@ type Params struct {
 	// wave.Config.Workers); 0 or 1 runs each simulator serially. Results are
 	// identical either way — the parallel engine is bit-deterministic.
 	Workers int
+
+	// OnPoint, when non-nil, is called after each completed sweep point
+	// with (done, total) — coarse progress for long sweeps (waved streams
+	// it to clients). It runs on worker goroutines, so it must be safe for
+	// concurrent use, and it only observes: results are identical with or
+	// without it.
+	OnPoint func(done, total int) `json:"-"`
 }
 
 // Defaults returns the full-size parameters used for EXPERIMENTS.md.
@@ -52,13 +61,15 @@ type Report struct {
 }
 
 // Registry maps experiment IDs to their functions, in presentation order.
+// Every experiment honours context cancellation between sweep points and
+// (through the simulator's context-aware run loops) between cycles.
 func Registry() []struct {
 	ID string
-	Fn func(Params) (*Report, error)
+	Fn func(context.Context, Params) (*Report, error)
 } {
 	return []struct {
 		ID string
-		Fn func(Params) (*Report, error)
+		Fn func(context.Context, Params) (*Report, error)
 	}{
 		{"e1", E1MessageLength},
 		{"e2", E2LoadSweep},
@@ -93,20 +104,22 @@ func baseConfig(p Params) wave.Config {
 	return cfg
 }
 
-// runOne builds a simulator and runs the workload.
-func runOne(cfg wave.Config, w wave.Workload, p Params) (*wave.Result, error) {
+// runOne builds a simulator and runs the workload under ctx.
+func runOne(ctx context.Context, cfg wave.Config, w wave.Workload, p Params) (*wave.Result, error) {
 	s, err := wave.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	defer s.Close()
-	return s.RunLoad(w, p.Warmup, p.Measure)
+	return s.RunLoadContext(ctx, w, p.Warmup, p.Measure)
 }
 
 // parallel runs jobs 0..n-1 across a bounded pool and returns the first
 // error. Workers write into caller-provided slots, so output order is
-// deterministic.
-func parallel(n int, job func(i int) error) error {
+// deterministic. Cancelling ctx stops dispatch between sweep points (and
+// the context-aware run loops stop in-flight points between cycles);
+// p.OnPoint, when set, observes completed-point progress.
+func parallel(ctx context.Context, p Params, n int, job func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -115,6 +128,7 @@ func parallel(n int, job func(i int) error) error {
 		workers = 1
 	}
 	var wg sync.WaitGroup
+	var completed atomic.Int64
 	idx := make(chan int)
 	errs := make([]error, n)
 	for w := 0; w < workers; w++ {
@@ -123,14 +137,25 @@ func parallel(n int, job func(i int) error) error {
 			defer wg.Done()
 			for i := range idx {
 				errs[i] = job(i)
+				if p.OnPoint != nil {
+					p.OnPoint(int(completed.Add(1)), n)
+				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -145,13 +170,13 @@ func parallel(n int, job func(i int) error) error {
 // messages >= 128 flits even without circuit reuse (k=1 full-width config).
 
 // E1MessageLength regenerates the message-length sweep.
-func E1MessageLength(p Params) (*Report, error) {
+func E1MessageLength(ctx context.Context, p Params) (*Report, error) {
 	lengths := []int{8, 16, 32, 64, 128, 256, 512, 1024}
 	type row struct {
 		wh, pcs, clrp float64
 	}
 	rows := make([]row, len(lengths))
-	err := parallel(len(lengths)*3, func(i int) error {
+	err := parallel(ctx, p, len(lengths)*3, func(i int) error {
 		li, which := i/3, i%3
 		cfg := baseConfig(p)
 		cfg.NumSwitches = 1 // full-width wave channel
@@ -167,7 +192,7 @@ func E1MessageLength(p Params) (*Report, error) {
 			w.WorkingSet = 2
 			w.Reuse = 0.9
 		}
-		res, err := runOne(cfg, w, p)
+		res, err := runOne(ctx, cfg, w, p)
 		if err != nil {
 			return fmt.Errorf("e1 L=%d %s: %w", lengths[li], cfg.Protocol, err)
 		}
@@ -205,7 +230,7 @@ func E1MessageLength(p Params) (*Report, error) {
 // E2 — latency and accepted throughput vs applied load.
 
 // E2LoadSweep regenerates the load sweep for all protocols.
-func E2LoadSweep(p Params) (*Report, error) {
+func E2LoadSweep(ctx context.Context, p Params) (*Report, error) {
 	loads := []float64{0.02, 0.05, 0.10, 0.15, 0.20, 0.30}
 	protos := []string{"wormhole", "clrp", "carp"}
 	type cell struct{ lat, thr float64 }
@@ -213,7 +238,7 @@ func E2LoadSweep(p Params) (*Report, error) {
 	for i := range grid {
 		grid[i] = make([]cell, len(protos))
 	}
-	err := parallel(len(loads)*len(protos), func(i int) error {
+	err := parallel(ctx, p, len(loads)*len(protos), func(i int) error {
 		li, pi := i/len(protos), i%len(protos)
 		cfg := baseConfig(p)
 		cfg.Protocol = protos[pi]
@@ -235,7 +260,7 @@ func E2LoadSweep(p Params) (*Report, error) {
 				s.OpenCircuit(n, (n+5)%s.Nodes())
 			}
 		}
-		res, rerr := s.RunLoad(w, p.Warmup, p.Measure)
+		res, rerr := s.RunLoadContext(ctx, w, p.Warmup, p.Measure)
 		if rerr != nil {
 			return fmt.Errorf("e2 load=%.2f %s: %w", loads[li], protos[pi], rerr)
 		}
@@ -264,19 +289,19 @@ func E2LoadSweep(p Params) (*Report, error) {
 // E3 — circuit reuse: where does CLRP start paying for short messages?
 
 // E3Reuse regenerates the reuse-probability sweep.
-func E3Reuse(p Params) (*Report, error) {
+func E3Reuse(ctx context.Context, p Params) (*Report, error) {
 	reuses := []float64{0, 0.25, 0.5, 0.75, 0.9, 0.95}
 	whLat := make([]float64, 1)
 	clrpLat := make([]float64, len(reuses))
 	hit := make([]float64, len(reuses))
-	err := parallel(len(reuses)+1, func(i int) error {
+	err := parallel(ctx, p, len(reuses)+1, func(i int) error {
 		cfg := baseConfig(p)
 		// Spatially mapped processes ("near"): circuits are short, so the
 		// binding constraint is temporal reuse — the variable under test.
 		w := wave.Workload{Pattern: "near", Load: 0.05, FixedLength: 16, WantCircuit: true}
 		if i == len(reuses) {
 			cfg.Protocol = "wormhole"
-			res, err := runOne(cfg, w, p)
+			res, err := runOne(ctx, cfg, w, p)
 			if err != nil {
 				return err
 			}
@@ -288,7 +313,7 @@ func E3Reuse(p Params) (*Report, error) {
 			w.WorkingSet = 2
 			w.Reuse = reuses[i]
 		}
-		res, err := runOne(cfg, w, p)
+		res, err := runOne(ctx, cfg, w, p)
 		if err != nil {
 			return fmt.Errorf("e3 p=%.2f: %w", reuses[i], err)
 		}
@@ -318,7 +343,7 @@ func E3Reuse(p Params) (*Report, error) {
 // E4 — replacement algorithms under cache pressure.
 
 // E4Replacement regenerates the replacement-policy comparison.
-func E4Replacement(p Params) (*Report, error) {
+func E4Replacement(ctx context.Context, p Params) (*Report, error) {
 	policies := []string{"lru", "lfu", "random"}
 	setSizes := []int{4, 8, 16}
 	// Working sets cannot exceed the number of possible destinations.
@@ -335,7 +360,7 @@ func E4Replacement(p Params) (*Report, error) {
 	for i := range grid {
 		grid[i] = make([]cell, len(setSizes))
 	}
-	err := parallel(len(policies)*len(setSizes), func(i int) error {
+	err := parallel(ctx, p, len(policies)*len(setSizes), func(i int) error {
 		pi, si := i/len(setSizes), i%len(setSizes)
 		cfg := baseConfig(p)
 		cfg.Protocol = "clrp"
@@ -347,7 +372,7 @@ func E4Replacement(p Params) (*Report, error) {
 			Pattern: "near", Load: 0.05, FixedLength: 32,
 			WorkingSet: setSizes[si], Reuse: 0.9, RedrawPeriod: 0, WantCircuit: true,
 		}
-		res, err := runOne(cfg, w, p)
+		res, err := runOne(ctx, cfg, w, p)
 		if err != nil {
 			return fmt.Errorf("e4 %s set=%d: %w", policies[pi], setSizes[si], err)
 		}
@@ -376,13 +401,13 @@ func E4Replacement(p Params) (*Report, error) {
 // E5 — MB-m misroute budget.
 
 // E5Misroute regenerates the misroute-budget sweep.
-func E5Misroute(p Params) (*Report, error) {
+func E5Misroute(ctx context.Context, p Params) (*Report, error) {
 	ms := []int{0, 1, 2, 3, 4}
 	type cell struct {
 		success, setup, misPer float64
 	}
 	cells := make([]cell, len(ms))
-	err := parallel(len(ms), func(i int) error {
+	err := parallel(ctx, p, len(ms), func(i int) error {
 		cfg := baseConfig(p)
 		cfg.Protocol = "pcs" // every message probes: maximal probe pressure
 		cfg.MaxMisroutes = ms[i]
@@ -393,7 +418,7 @@ func E5Misroute(p Params) (*Report, error) {
 			return err
 		}
 		defer s.Close()
-		res, rerr := s.RunLoad(w, p.Warmup, p.Measure)
+		res, rerr := s.RunLoadContext(ctx, w, p.Warmup, p.Measure)
 		if rerr != nil {
 			return fmt.Errorf("e5 m=%d: %w", ms[i], rerr)
 		}
@@ -430,13 +455,13 @@ func E5Misroute(p Params) (*Report, error) {
 // E6 — number of wave switches k (bandwidth split vs circuit concurrency).
 
 // E6SwitchCount regenerates the k sweep.
-func E6SwitchCount(p Params) (*Report, error) {
+func E6SwitchCount(ctx context.Context, p Params) (*Report, error) {
 	ks := []int{1, 2, 3, 4}
 	type cell struct {
 		lat, thr, circ float64
 	}
 	cells := make([]cell, len(ks))
-	err := parallel(len(ks), func(i int) error {
+	err := parallel(ctx, p, len(ks), func(i int) error {
 		cfg := baseConfig(p)
 		cfg.Protocol = "clrp"
 		cfg.NumSwitches = ks[i]
@@ -451,11 +476,11 @@ func E6SwitchCount(p Params) (*Report, error) {
 			Pattern: "near", Load: 0.08, FixedLength: 256,
 			WorkingSet: 2, Reuse: 0.9, WantCircuit: true,
 		}
-		resS, err := runOne(cfg, short, p)
+		resS, err := runOne(ctx, cfg, short, p)
 		if err != nil {
 			return fmt.Errorf("e6 k=%d short: %w", ks[i], err)
 		}
-		resL, err := runOne(cfg, long, p)
+		resL, err := runOne(ctx, cfg, long, p)
 		if err != nil {
 			return fmt.Errorf("e6 k=%d long: %w", ks[i], err)
 		}
@@ -485,7 +510,7 @@ func E6SwitchCount(p Params) (*Report, error) {
 // E7 — theorem validation under stress (the deadlock/livelock experiment).
 
 // E7Stress regenerates the saturation stress table.
-func E7Stress(p Params) (*Report, error) {
+func E7Stress(ctx context.Context, p Params) (*Report, error) {
 	protos := []string{"wormhole", "clrp", "carp", "pcs"}
 	type cell struct {
 		delivered int64
@@ -494,7 +519,7 @@ func E7Stress(p Params) (*Report, error) {
 		releases  int64
 	}
 	cells := make([]cell, len(protos))
-	err := parallel(len(protos), func(i int) error {
+	err := parallel(ctx, p, len(protos), func(i int) error {
 		cfg := baseConfig(p)
 		cfg.Protocol = protos[i]
 		cfg.CacheCapacity = 2 // maximal replacement churn
@@ -507,7 +532,7 @@ func E7Stress(p Params) (*Report, error) {
 			return err
 		}
 		defer s.Close()
-		res, rerr := s.RunLoad(w, p.Warmup, p.Measure)
+		res, rerr := s.RunLoadContext(ctx, w, p.Warmup, p.Measure)
 		if rerr != nil {
 			return fmt.Errorf("e7 %s: %w (deadlock/livelock?)", protos[i], rerr)
 		}
@@ -537,13 +562,13 @@ func E7Stress(p Params) (*Report, error) {
 // E8 — static fault tolerance of circuit setup.
 
 // E8Faults regenerates the fault sweep.
-func E8Faults(p Params) (*Report, error) {
+func E8Faults(ctx context.Context, p Params) (*Report, error) {
 	counts := []int{0, 8, 16, 32, 64, 128}
 	type cell struct {
 		circFrac, lat, success float64
 	}
 	cells := make([]cell, len(counts))
-	err := parallel(len(counts), func(i int) error {
+	err := parallel(ctx, p, len(counts), func(i int) error {
 		cfg := baseConfig(p)
 		cfg.Protocol = "clrp"
 		cfg.MaxMisroutes = 3 // generous budget: MB-m's fault resilience
@@ -559,7 +584,7 @@ func E8Faults(p Params) (*Report, error) {
 			Pattern: "near", Load: 0.05, FixedLength: 64,
 			WorkingSet: 2, Reuse: 0.8, WantCircuit: true,
 		}
-		res, rerr := s.RunLoad(w, p.Warmup, p.Measure)
+		res, rerr := s.RunLoadContext(ctx, w, p.Warmup, p.Measure)
 		if rerr != nil {
 			return fmt.Errorf("e8 faults=%d: %w", counts[i], rerr)
 		}
@@ -594,7 +619,7 @@ func E8Faults(p Params) (*Report, error) {
 // E9 — CLRP phase ablations (paper section 3.1 simplifications).
 
 // E9Ablation regenerates the protocol-variant comparison.
-func E9Ablation(p Params) (*Report, error) {
+func E9Ablation(ctx context.Context, p Params) (*Report, error) {
 	variants := []struct {
 		name               string
 		forceFirst, single bool
@@ -608,7 +633,7 @@ func E9Ablation(p Params) (*Report, error) {
 		p2, p3     int64
 	}
 	cells := make([]cell, len(variants))
-	err := parallel(len(variants), func(i int) error {
+	err := parallel(ctx, p, len(variants), func(i int) error {
 		cfg := baseConfig(p)
 		cfg.Protocol = "clrp"
 		cfg.CacheCapacity = 3
@@ -623,7 +648,7 @@ func E9Ablation(p Params) (*Report, error) {
 			return err
 		}
 		defer s.Close()
-		res, rerr := s.RunLoad(w, p.Warmup, p.Measure)
+		res, rerr := s.RunLoadContext(ctx, w, p.Warmup, p.Measure)
 		if rerr != nil {
 			return fmt.Errorf("e9 %s: %w", variants[i].name, rerr)
 		}
@@ -654,14 +679,14 @@ func E9Ablation(p Params) (*Report, error) {
 // E10 — wave clock multiplier sensitivity (the Spice 4x claim).
 
 // E10ClockMult regenerates the clock-multiplier sweep.
-func E10ClockMult(p Params) (*Report, error) {
+func E10ClockMult(ctx context.Context, p Params) (*Report, error) {
 	mults := []float64{1, 2, 3, 4}
 	type cell struct {
 		lat, thr, gain float64
 	}
 	cells := make([]cell, len(mults))
 	whLat := make([]float64, 1)
-	err := parallel(len(mults)+1, func(i int) error {
+	err := parallel(ctx, p, len(mults)+1, func(i int) error {
 		cfg := baseConfig(p)
 		w := wave.Workload{
 			Pattern: "uniform", Load: 0.05, FixedLength: 256,
@@ -669,7 +694,7 @@ func E10ClockMult(p Params) (*Report, error) {
 		}
 		if i == len(mults) {
 			cfg.Protocol = "wormhole"
-			res, err := runOne(cfg, w, p)
+			res, err := runOne(ctx, cfg, w, p)
 			if err != nil {
 				return err
 			}
@@ -679,7 +704,7 @@ func E10ClockMult(p Params) (*Report, error) {
 		cfg.Protocol = "clrp"
 		cfg.NumSwitches = 1
 		cfg.WaveClockMult = mults[i]
-		res, err := runOne(cfg, w, p)
+		res, err := runOne(ctx, cfg, w, p)
 		if err != nil {
 			return fmt.Errorf("e10 mult=%g: %w", mults[i], err)
 		}
@@ -708,11 +733,11 @@ func E10ClockMult(p Params) (*Report, error) {
 // E11 — end-to-end window size: why the paper demands deep delivery buffers.
 
 // E11Window regenerates the window-size sweep.
-func E11Window(p Params) (*Report, error) {
+func E11Window(ctx context.Context, p Params) (*Report, error) {
 	windows := []int{0, 64, 32, 16, 8, 4} // 0 = unbounded (deep buffers)
 	type cell struct{ lat, thr float64 }
 	cells := make([]cell, len(windows))
-	err := parallel(len(windows), func(i int) error {
+	err := parallel(ctx, p, len(windows), func(i int) error {
 		cfg := baseConfig(p)
 		cfg.Protocol = "clrp"
 		cfg.NumSwitches = 1
@@ -721,7 +746,7 @@ func E11Window(p Params) (*Report, error) {
 			Pattern: "uniform", Load: 0.05, FixedLength: 256,
 			WorkingSet: 2, Reuse: 0.9, WantCircuit: true,
 		}
-		res, err := runOne(cfg, w, p)
+		res, err := runOne(ctx, cfg, w, p)
 		if err != nil {
 			return fmt.Errorf("e11 window=%d: %w", windows[i], err)
 		}
@@ -758,7 +783,7 @@ func E11Window(p Params) (*Report, error) {
 // Again?").
 
 // E12Topology regenerates the topology comparison.
-func E12Topology(p Params) (*Report, error) {
+func E12Topology(ctx context.Context, p Params) (*Report, error) {
 	n := p.Radix * p.Radix
 	topos := []wave.TopologyConfig{
 		{Kind: "torus", Radix: []int{p.Radix, p.Radix}},
@@ -776,7 +801,7 @@ func E12Topology(p Params) (*Report, error) {
 	}
 	type cell struct{ whLat, clLat, thr float64 }
 	cells := make([]cell, len(topos))
-	err := parallel(len(topos)*2, func(i int) error {
+	err := parallel(ctx, p, len(topos)*2, func(i int) error {
 		ti, which := i/2, i%2
 		cfg := baseConfig(p)
 		cfg.Topology = topos[ti]
@@ -792,7 +817,7 @@ func E12Topology(p Params) (*Report, error) {
 		} else {
 			cfg.Protocol = "clrp"
 		}
-		res, err := runOne(cfg, w, p)
+		res, err := runOne(ctx, cfg, w, p)
 		if err != nil {
 			return fmt.Errorf("e12 %s %s: %w", names[ti], cfg.Protocol, err)
 		}
@@ -828,7 +853,7 @@ func E12Topology(p Params) (*Report, error) {
 // paper's DSM motivation in its natural traffic model).
 
 // E13ClosedLoop regenerates the closed-loop round-trip comparison.
-func E13ClosedLoop(p Params) (*Report, error) {
+func E13ClosedLoop(ctx context.Context, p Params) (*Report, error) {
 	outs := []int{1, 2, 4, 8}
 	protos := []string{"wormhole", "clrp"}
 	type cell struct{ rtt, rate float64 }
@@ -840,7 +865,7 @@ func E13ClosedLoop(p Params) (*Report, error) {
 	if requests < 10 {
 		requests = 10
 	}
-	err := parallel(len(outs)*len(protos), func(i int) error {
+	err := parallel(ctx, p, len(outs)*len(protos), func(i int) error {
 		oi, pi := i/len(protos), i%len(protos)
 		cfg := baseConfig(p)
 		cfg.Protocol = protos[pi]
@@ -849,7 +874,7 @@ func E13ClosedLoop(p Params) (*Report, error) {
 			return err
 		}
 		defer s.Close()
-		res, rerr := s.RunClosedLoop(wave.ClosedWorkload{
+		res, rerr := s.RunClosedLoopContext(ctx, wave.ClosedWorkload{
 			Pattern: "near", ReqFlits: 4, ReplyFlits: 64,
 			Outstanding: outs[oi], Requests: requests,
 			WorkingSet: 2, Reuse: 0.9, WantCircuit: true,
@@ -884,13 +909,13 @@ func E13ClosedLoop(p Params) (*Report, error) {
 // switching-technique selection without compiler support).
 
 // E14Hybrid regenerates the threshold sweep.
-func E14Hybrid(p Params) (*Report, error) {
+func E14Hybrid(ctx context.Context, p Params) (*Report, error) {
 	thresholds := []int{0, 8, 16, 32, 64, 1 << 30}
 	type cell struct {
 		lat, circ float64
 	}
 	cells := make([]cell, len(thresholds))
-	err := parallel(len(thresholds), func(i int) error {
+	err := parallel(ctx, p, len(thresholds), func(i int) error {
 		cfg := baseConfig(p)
 		cfg.Protocol = "clrp"
 		cfg.MinCircuitFlits = thresholds[i]
@@ -899,7 +924,7 @@ func E14Hybrid(p Params) (*Report, error) {
 			BimodalShort: 4, BimodalLong: 128, BimodalPLong: 0.3,
 			WorkingSet: 2, Reuse: 0.9, WantCircuit: true,
 		}
-		res, err := runOne(cfg, w, p)
+		res, err := runOne(ctx, cfg, w, p)
 		if err != nil {
 			return fmt.Errorf("e14 threshold=%d: %w", thresholds[i], err)
 		}
@@ -939,7 +964,7 @@ func E14Hybrid(p Params) (*Report, error) {
 // increasing node delay", quantified via Chien's cost model [4]).
 
 // E15RouterCost regenerates the router-cost trade-off table.
-func E15RouterCost(p Params) (*Report, error) {
+func E15RouterCost(ctx context.Context, p Params) (*Report, error) {
 	type config struct {
 		name    string
 		routing string
@@ -957,7 +982,7 @@ func E15RouterCost(p Params) (*Report, error) {
 	for i := range grid {
 		grid[i] = make([]float64, len(loads))
 	}
-	err := parallel(len(configs)*len(loads), func(i int) error {
+	err := parallel(ctx, p, len(configs)*len(loads), func(i int) error {
 		ci, li := i/len(loads), i%len(loads)
 		cfg := baseConfig(p)
 		cfg.Protocol = "wormhole" // isolate the wormhole design space
@@ -965,7 +990,7 @@ func E15RouterCost(p Params) (*Report, error) {
 		cfg.NumVCs = configs[ci].vcs
 		cfg.RouteDelay = configs[ci].rd
 		w := wave.Workload{Pattern: "uniform", Load: loads[li], FixedLength: 16}
-		res, err := runOne(cfg, w, p)
+		res, err := runOne(ctx, cfg, w, p)
 		if err != nil {
 			return fmt.Errorf("e15 %s load=%.2f: %w", configs[ci].name, loads[li], err)
 		}
@@ -999,7 +1024,7 @@ func E15RouterCost(p Params) (*Report, error) {
 // routing). Avoidance pays virtual channels; recovery pays aborts.
 
 // E16Recovery regenerates the avoidance-vs-recovery table.
-func E16Recovery(p Params) (*Report, error) {
+func E16Recovery(ctx context.Context, p Params) (*Report, error) {
 	type config struct {
 		name    string
 		routing string
@@ -1022,7 +1047,7 @@ func E16Recovery(p Params) (*Report, error) {
 	for i := range grid {
 		grid[i] = make([]cell, len(loads))
 	}
-	err := parallel(len(configs)*len(loads), func(i int) error {
+	err := parallel(ctx, p, len(configs)*len(loads), func(i int) error {
 		ci, li := i/len(loads), i%len(loads)
 		cfg := baseConfig(p)
 		cfg.Protocol = "wormhole"
@@ -1031,7 +1056,7 @@ func E16Recovery(p Params) (*Report, error) {
 		cfg.BufDepth = configs[ci].depth
 		cfg.RecoveryTimeout = configs[ci].timeout
 		w := wave.Workload{Pattern: "uniform", Load: loads[li], FixedLength: 16}
-		res, err := runOne(cfg, w, p)
+		res, err := runOne(ctx, cfg, w, p)
 		if err != nil {
 			return fmt.Errorf("e16 %s load=%.2f: %w", configs[ci].name, loads[li], err)
 		}
@@ -1063,14 +1088,14 @@ func E16Recovery(p Params) (*Report, error) {
 // E17 — circuit cache capacity (how many Figure 5 register sets to build).
 
 // E17CacheCapacity regenerates the cache-capacity sweep.
-func E17CacheCapacity(p Params) (*Report, error) {
+func E17CacheCapacity(ctx context.Context, p Params) (*Report, error) {
 	caps := []int{1, 2, 4, 8, 16}
 	type cell struct {
 		lat, hit float64
 		evict    int64
 	}
 	cells := make([]cell, len(caps))
-	err := parallel(len(caps), func(i int) error {
+	err := parallel(ctx, p, len(caps), func(i int) error {
 		cfg := baseConfig(p)
 		cfg.Protocol = "clrp"
 		cfg.CacheCapacity = caps[i]
@@ -1083,7 +1108,7 @@ func E17CacheCapacity(p Params) (*Report, error) {
 			return err
 		}
 		defer s.Close()
-		res, rerr := s.RunLoad(w, p.Warmup, p.Measure)
+		res, rerr := s.RunLoadContext(ctx, w, p.Warmup, p.Measure)
 		if rerr != nil {
 			return fmt.Errorf("e17 cap=%d: %w", caps[i], rerr)
 		}
@@ -1115,7 +1140,7 @@ func E17CacheCapacity(p Params) (*Report, error) {
 // neighboring nodes try to use different initial switches").
 
 // E18SwitchSpread regenerates the heuristic ablation.
-func E18SwitchSpread(p Params) (*Report, error) {
+func E18SwitchSpread(ctx context.Context, p Params) (*Report, error) {
 	variants := []struct {
 		name   string
 		spread bool
@@ -1127,7 +1152,7 @@ func E18SwitchSpread(p Params) (*Report, error) {
 		lat, setup, backs float64
 	}
 	cells := make([]cell, len(variants))
-	err := parallel(len(variants), func(i int) error {
+	err := parallel(ctx, p, len(variants), func(i int) error {
 		cfg := baseConfig(p)
 		cfg.Protocol = "clrp"
 		cfg.NumSwitches = 3 // the heuristic only matters with several switches
@@ -1138,7 +1163,7 @@ func E18SwitchSpread(p Params) (*Report, error) {
 			Pattern: "uniform", Load: 0.15, FixedLength: 256,
 			WorkingSet: 3, Reuse: 0.85, WantCircuit: true,
 		}
-		res, err := runOne(cfg, w, p)
+		res, err := runOne(ctx, cfg, w, p)
 		if err != nil {
 			return fmt.Errorf("e18 %s: %w", variants[i].name, err)
 		}
@@ -1175,7 +1200,7 @@ func E18SwitchSpread(p Params) (*Report, error) {
 // known-message-set allocation (paper section 2's buffer discussion).
 
 // E19EndpointBuffers regenerates the buffer-model comparison.
-func E19EndpointBuffers(p Params) (*Report, error) {
+func E19EndpointBuffers(ctx context.Context, p Params) (*Report, error) {
 	type config struct {
 		name    string
 		proto   string
@@ -1192,7 +1217,7 @@ func E19EndpointBuffers(p Params) (*Report, error) {
 		reallocs int64
 	}
 	cells := make([]cell, len(configs))
-	err := parallel(len(configs), func(i int) error {
+	err := parallel(ctx, p, len(configs), func(i int) error {
 		cfg := baseConfig(p)
 		cfg.Protocol = configs[i].proto
 		cfg.InitialBufFlits = configs[i].initial
@@ -1215,7 +1240,7 @@ func E19EndpointBuffers(p Params) (*Report, error) {
 			BimodalShort: 16, BimodalLong: 256, BimodalPLong: 0.1,
 			WorkingSet: 1, Reuse: 0.95, WantCircuit: true,
 		}
-		res, rerr := s.RunLoad(w, p.Warmup, p.Measure)
+		res, rerr := s.RunLoadContext(ctx, w, p.Warmup, p.Measure)
 		if rerr != nil {
 			return fmt.Errorf("e19 %s: %w", configs[i].name, rerr)
 		}
@@ -1250,7 +1275,7 @@ func E19EndpointBuffers(p Params) (*Report, error) {
 
 // E20SoftwareLayer regenerates the end-to-end (software + hardware) cost
 // comparison across system models.
-func E20SoftwareLayer(p Params) (*Report, error) {
+func E20SoftwareLayer(ctx context.Context, p Params) (*Report, error) {
 	const msgLen = 128
 	// Measure hardware latencies once per substrate.
 	type hw struct{ wh, circuit float64 }
@@ -1258,7 +1283,7 @@ func E20SoftwareLayer(p Params) (*Report, error) {
 	{
 		cfg := baseConfig(p)
 		cfg.Protocol = "wormhole"
-		res, err := runOne(cfg, wave.Workload{Pattern: "uniform", Load: 0.05, FixedLength: msgLen}, p)
+		res, err := runOne(ctx, cfg, wave.Workload{Pattern: "uniform", Load: 0.05, FixedLength: msgLen}, p)
 		if err != nil {
 			return nil, err
 		}
@@ -1267,7 +1292,7 @@ func E20SoftwareLayer(p Params) (*Report, error) {
 	{
 		cfg := baseConfig(p)
 		cfg.Protocol = "clrp"
-		res, err := runOne(cfg, wave.Workload{
+		res, err := runOne(ctx, cfg, wave.Workload{
 			Pattern: "uniform", Load: 0.05, FixedLength: msgLen,
 			WorkingSet: 2, Reuse: 0.9, WantCircuit: true,
 		}, p)
@@ -1307,7 +1332,7 @@ func E20SoftwareLayer(p Params) (*Report, error) {
 // by the CDG checker.
 
 // E21RoutingFamily regenerates the routing comparison on a mesh.
-func E21RoutingFamily(p Params) (*Report, error) {
+func E21RoutingFamily(ctx context.Context, p Params) (*Report, error) {
 	type config struct {
 		name, fn string
 		vcs      int
@@ -1323,7 +1348,7 @@ func E21RoutingFamily(p Params) (*Report, error) {
 	for i := range grid {
 		grid[i] = make([]float64, len(loads))
 	}
-	err := parallel(len(configs)*len(loads), func(i int) error {
+	err := parallel(ctx, p, len(configs)*len(loads), func(i int) error {
 		ci, li := i/len(loads), i%len(loads)
 		cfg := baseConfig(p)
 		cfg.Topology = wave.TopologyConfig{Kind: "mesh", Radix: []int{p.Radix, p.Radix}}
@@ -1332,7 +1357,7 @@ func E21RoutingFamily(p Params) (*Report, error) {
 		cfg.NumVCs = configs[ci].vcs
 		// Transpose concentrates traffic: adaptivity earns its keep.
 		w := wave.Workload{Pattern: "transpose", Load: loads[li], FixedLength: 16}
-		res, err := runOne(cfg, w, p)
+		res, err := runOne(ctx, cfg, w, p)
 		if err != nil {
 			return fmt.Errorf("e21 %s load=%.2f: %w", configs[ci].name, loads[li], err)
 		}
@@ -1394,14 +1419,14 @@ func Sorted() []string {
 // average latency exceeds `factor` times its zero-load latency — the classic
 // saturation-throughput metric of the interconnection-network literature.
 // The returned load is accurate to `tol` flits/node/cycle.
-func SaturationLoad(cfg wave.Config, w wave.Workload, p Params, factor, tol float64) (float64, error) {
+func SaturationLoad(ctx context.Context, cfg wave.Config, w wave.Workload, p Params, factor, tol float64) (float64, error) {
 	if factor <= 1 || tol <= 0 {
 		return 0, fmt.Errorf("experiments: invalid saturation parameters")
 	}
 	latAt := func(load float64) (float64, error) {
 		wl := w
 		wl.Load = load
-		res, err := runOne(cfg, wl, p)
+		res, err := runOne(ctx, cfg, wl, p)
 		if err != nil {
 			return 0, err
 		}
@@ -1443,12 +1468,12 @@ func SaturationLoad(cfg wave.Config, w wave.Workload, p Params, factor, tol floa
 // Replicate runs fn across `reps` seeds (base, base+1, ...) and returns the
 // sample mean and 95% confidence half-width of its scalar result — the
 // multi-seed robustness check behind the EXPERIMENTS.md claims.
-func Replicate(reps int, base uint64, fn func(seed uint64) (float64, error)) (mean, ci float64, err error) {
+func Replicate(ctx context.Context, reps int, base uint64, fn func(seed uint64) (float64, error)) (mean, ci float64, err error) {
 	if reps < 1 {
 		return 0, 0, fmt.Errorf("experiments: reps must be >= 1")
 	}
 	vals := make([]float64, reps)
-	err = parallel(reps, func(i int) error {
+	err = parallel(ctx, Params{}, reps, func(i int) error {
 		v, ferr := fn(base + uint64(i))
 		vals[i] = v
 		return ferr

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/wave"
@@ -16,7 +19,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
-			rep, err := e.Fn(p)
+			rep, err := e.Fn(context.Background(), p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -45,7 +48,7 @@ func TestRegistryComplete(t *testing.T) {
 // no-reuse gain must grow with message length and exceed 1 for long
 // messages.
 func TestE1Shape(t *testing.T) {
-	rep, err := E1MessageLength(Quick())
+	rep, err := E1MessageLength(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +91,7 @@ func TestHeadlineClaimCrossSeed(t *testing.T) {
 			cfg.Protocol = protocol
 			cfg.NumSwitches = 1
 			cfg.MaxMisroutes = 0
-			res, err := runOne(cfg, wave.Workload{
+			res, err := runOne(context.Background(), cfg, wave.Workload{
 				Pattern: "uniform", Load: 0.02, FixedLength: 256,
 				WantCircuit: true, Seed: seed + 77,
 			}, p)
@@ -107,7 +110,7 @@ func TestHeadlineClaimCrossSeed(t *testing.T) {
 		}
 		return wh / pcs, nil
 	}
-	mean, ci, err := Replicate(4, 11, gain)
+	mean, ci, err := Replicate(context.Background(), 4, 11, gain)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +120,7 @@ func TestHeadlineClaimCrossSeed(t *testing.T) {
 }
 
 func TestReplicateValidation(t *testing.T) {
-	if _, _, err := Replicate(0, 1, func(uint64) (float64, error) { return 0, nil }); err == nil {
+	if _, _, err := Replicate(context.Background(), 0, 1, func(uint64) (float64, error) { return 0, nil }); err == nil {
 		t.Fatal("0 reps accepted")
 	}
 }
@@ -133,7 +136,7 @@ func TestSaturationLoadOrdersProtocols(t *testing.T) {
 	sat := func(protocol string) float64 {
 		cfg := baseConfig(p)
 		cfg.Protocol = protocol
-		v, err := SaturationLoad(cfg, w, p, 3.0, 0.05)
+		v, err := SaturationLoad(context.Background(), cfg, w, p, 3.0, 0.05)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,10 +149,40 @@ func TestSaturationLoadOrdersProtocols(t *testing.T) {
 }
 
 func TestSaturationLoadValidation(t *testing.T) {
-	if _, err := SaturationLoad(baseConfig(Quick()), wave.Workload{}, Quick(), 1.0, 0.1); err == nil {
+	if _, err := SaturationLoad(context.Background(), baseConfig(Quick()), wave.Workload{}, Quick(), 1.0, 0.1); err == nil {
 		t.Fatal("factor 1 accepted")
 	}
-	if _, err := SaturationLoad(baseConfig(Quick()), wave.Workload{}, Quick(), 3.0, 0); err == nil {
+	if _, err := SaturationLoad(context.Background(), baseConfig(Quick()), wave.Workload{}, Quick(), 3.0, 0); err == nil {
 		t.Fatal("zero tolerance accepted")
+	}
+}
+
+// TestExperimentCancellation: a cancelled context cuts a sweep short
+// between points/cycles instead of running it to completion.
+func TestExperimentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := E2LoadSweep(ctx, Quick()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestOnPointProgress: the sweep progress hook reports every completed
+// point exactly once, ending at (total, total).
+func TestOnPointProgress(t *testing.T) {
+	p := Quick()
+	var calls atomic.Int64
+	var sawTotal atomic.Int64
+	p.OnPoint = func(done, total int) {
+		calls.Add(1)
+		if done == total {
+			sawTotal.Store(int64(total))
+		}
+	}
+	if _, err := E5Misroute(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() == 0 || sawTotal.Load() == 0 {
+		t.Fatalf("OnPoint calls=%d final-total=%d", calls.Load(), sawTotal.Load())
 	}
 }

@@ -106,3 +106,44 @@ func TestNodeIsolating(t *testing.T) {
 		t.Fatalf("probe from isolated node should fail fast: %+v", res)
 	}
 }
+
+// TestRandomChannelsMinimalTopology: the smallest buildable network (a
+// 2-node mesh) has a single link; counts beyond its channel budget are a
+// clean error, not a panic.
+func TestRandomChannelsMinimalTopology(t *testing.T) {
+	topo := topology.MustCube([]int{2}, false)
+	// One link each way x 2 switches = 4 wave channels.
+	plan, err := RandomChannels(topo, 2, 4, 1)
+	if err != nil || len(plan.Channels) != 4 {
+		t.Fatalf("full plan on minimal topology: %v, %d channels", err, len(plan.Channels))
+	}
+	if _, err := RandomChannels(topo, 2, 5, 1); err == nil {
+		t.Fatal("count beyond the only link pair's channels accepted")
+	}
+	if plan, err = RandomChannels(topo, 2, 0, 1); err != nil || len(plan.Channels) != 0 {
+		t.Fatalf("empty plan: %v, %d channels", err, len(plan.Channels))
+	}
+}
+
+// TestRandomChannelsZeroSwitches: k=0 means no wave channels exist at all,
+// even on a topology with links.
+func TestRandomChannelsZeroSwitches(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	plan, err := RandomChannels(topo, 0, 0, 1)
+	if err != nil || len(plan.Channels) != 0 {
+		t.Fatalf("empty plan with k=0: %v, %d channels", err, len(plan.Channels))
+	}
+	if _, err := RandomChannels(topo, 0, 1, 1); err == nil {
+		t.Fatal("positive count accepted with zero wave switches")
+	}
+}
+
+// TestNodeIsolatingZeroSwitches: with no wave switches there is nothing to
+// fault, whatever the node's degree.
+func TestNodeIsolatingZeroSwitches(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	plan := NodeIsolating(topo, 0, 5)
+	if len(plan.Channels) != 0 {
+		t.Fatalf("k=0 isolation produced %d fault channels", len(plan.Channels))
+	}
+}

@@ -1,0 +1,231 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestServer starts a Server behind an httptest server and tears both
+// down with the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+// quickSpec is a 4x4-torus load job finishing in well under a second.
+func quickSpec(seed uint64, measure int64) string {
+	return fmt.Sprintf(`{
+		"kind": "load",
+		"config": {"topology": {"kind": "torus", "radix": [4, 4]}, "seed": %d},
+		"load": {"pattern": "uniform", "load": 0.05, "fixedlength": 16},
+		"warmup": 100, "measure": %d, "interval_cycles": 100
+	}`, seed, measure)
+}
+
+func doReq(t *testing.T, ts *httptest.Server, method, path, body string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+// waitState polls until the job reaches a state accepted by ok.
+func waitState(t *testing.T, ts *httptest.Server, id string, ok func(State) bool) View {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		_, body := doReq(t, ts, "GET", "/v1/jobs/"+id, "")
+		var v View
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			t.Fatalf("bad job view %q: %v", body, err)
+		}
+		if ok(v.State) {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached the wanted state", id)
+	return View{}
+}
+
+func submit(t *testing.T, ts *httptest.Server, spec string) View {
+	t.Helper()
+	resp, body := doReq(t, ts, "POST", "/v1/jobs", spec)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d, body %s", resp.StatusCode, body)
+	}
+	var v View
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHandlers(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, method, path, body string
+		wantCode                 int
+		wantSub                  string
+	}{
+		{"healthz ok", "GET", "/healthz", "", 200, `"status": "ok"`},
+		{"metrics", "GET", "/metrics", "", 200, "waved_queue_depth"},
+		{"submit bad json", "POST", "/v1/jobs", "{", 400, "bad spec"},
+		{"submit unknown field", "POST", "/v1/jobs", `{"kindd":"load"}`, 400, "unknown field"},
+		{"submit unknown kind", "POST", "/v1/jobs", `{"kind":"weird"}`, 400, "unknown job kind"},
+		{"load without workload", "POST", "/v1/jobs", `{"kind":"load"}`, 400, "workload"},
+		{"closed without workload", "POST", "/v1/jobs", `{"kind":"closed"}`, 400, "workload"},
+		{"unknown experiment", "POST", "/v1/jobs", `{"kind":"experiment","experiment":"e99"}`, 400, "unknown experiment"},
+		{"get unknown job", "GET", "/v1/jobs/zzz", "", 404, "no such job"},
+		{"result unknown job", "GET", "/v1/jobs/zzz/result", "", 404, "no such job"},
+		{"stream unknown job", "GET", "/v1/jobs/zzz/stream", "", 404, "no such job"},
+		{"cancel unknown job", "DELETE", "/v1/jobs/zzz", "", 404, "no such job"},
+		{"list empty", "GET", "/v1/jobs", "", 200, `"jobs"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := doReq(t, ts, tc.method, tc.path, tc.body)
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.wantCode, body)
+			}
+			if !strings.Contains(body, tc.wantSub) {
+				t.Fatalf("body %q missing %q", body, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	v := submit(t, ts, quickSpec(1, 3000))
+	if v.State != StateQueued && v.State != StateRunning {
+		t.Fatalf("fresh job state = %s", v.State)
+	}
+
+	// Result is 409 until the job finishes.
+	resp, _ := doReq(t, ts, "GET", "/v1/jobs/"+v.ID+"/result", "")
+	if resp.StatusCode != http.StatusConflict && resp.StatusCode != http.StatusOK {
+		t.Fatalf("early result: status %d", resp.StatusCode)
+	}
+
+	final := waitState(t, ts, v.ID, State.Terminal)
+	if final.State != StateDone {
+		t.Fatalf("job finished %s (%s)", final.State, final.Error)
+	}
+	if final.Result == nil {
+		t.Fatal("done view carries no result")
+	}
+	var res Result
+	if err := json.Unmarshal(final.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != KindLoad || res.Load == nil || res.Stats == nil {
+		t.Fatalf("incomplete result: %+v", res)
+	}
+	if res.Load.Delivered == 0 {
+		t.Fatal("job delivered no messages")
+	}
+
+	// The job shows up in the listing.
+	_, body := doReq(t, ts, "GET", "/v1/jobs", "")
+	if !strings.Contains(body, v.ID) {
+		t.Fatalf("listing %q missing job %s", body, v.ID)
+	}
+}
+
+func TestClosedLoopJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	v := submit(t, ts, `{
+		"kind": "closed",
+		"config": {"topology": {"kind": "torus", "radix": [4, 4]}, "seed": 3},
+		"closed": {"pattern": "transpose", "reqflits": 4, "replyflits": 16,
+		           "outstanding": 1, "requests": 2}
+	}`)
+	final := waitState(t, ts, v.ID, State.Terminal)
+	if final.State != StateDone {
+		t.Fatalf("closed job finished %s (%s)", final.State, final.Error)
+	}
+	var res Result
+	if err := json.Unmarshal(final.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Closed == nil || res.Closed.Completed == 0 {
+		t.Fatalf("closed result empty: %+v", res)
+	}
+}
+
+func TestExperimentJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	v := submit(t, ts, `{
+		"kind": "experiment", "experiment": "e5",
+		"params": {"radix": 4, "warmup": 200, "measure": 800, "seed": 1}
+	}`)
+	final := waitState(t, ts, v.ID, State.Terminal)
+	if final.State != StateDone {
+		t.Fatalf("experiment finished %s (%s)", final.State, final.Error)
+	}
+	var res Result
+	if err := json.Unmarshal(final.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Experiment == nil || res.Experiment.Table == "" || res.Experiment.CSV == "" {
+		t.Fatalf("experiment result empty: %+v", res)
+	}
+	// Sweep progress lines were published.
+	resp, body := doReq(t, ts, "GET", "/v1/jobs/"+v.ID+"/stream", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, `"type":"sweep"`) {
+		t.Fatalf("stream %q has no sweep lines", body)
+	}
+}
+
+func TestFailedJobClassified(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// An unknown traffic pattern passes spec validation (it's a workload
+	// detail) but fails at run time: state must be failed with the cause.
+	v := submit(t, ts, `{
+		"kind": "load",
+		"config": {"topology": {"kind": "torus", "radix": [4, 4]}},
+		"load": {"pattern": "nonsense", "load": 0.05, "fixedlength": 16},
+		"measure": 500
+	}`)
+	final := waitState(t, ts, v.ID, State.Terminal)
+	if final.State != StateFailed {
+		t.Fatalf("state = %s, want failed", final.State)
+	}
+	if !strings.Contains(final.Error, "pattern") {
+		t.Fatalf("error %q does not name the cause", final.Error)
+	}
+	resp, body := doReq(t, ts, "GET", "/v1/jobs/"+v.ID+"/result", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("failed job result: status %d body %s", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics aggregates the daemon's operational counters. Counters are
+// monotonic over the server's lifetime; gauges are sampled at scrape time
+// in WriteMetrics.
+type metrics struct {
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	cancelled atomic.Int64
+	running   atomic.Int64
+	cycles    atomic.Int64
+}
+
+// WriteMetrics renders the Prometheus text exposition format (0.0.4).
+// waved_cycles_per_second sums each running job's rate over its last
+// reporting interval — a live view of aggregate simulation speed.
+func (s *Server) WriteMetrics(w io.Writer) {
+	var rate float64
+	s.store.each(func(j *Job) {
+		rate += j.Rate()
+	})
+	type row struct {
+		name, typ, help string
+		value           float64
+	}
+	rows := []row{
+		{"waved_queue_depth", "gauge", "Jobs waiting in the submit queue.",
+			float64(s.queue.depth())},
+		{"waved_queue_capacity", "gauge", "Submit queue capacity.",
+			float64(s.cfg.QueueCap)},
+		{"waved_running_jobs", "gauge", "Jobs currently executing.",
+			float64(s.metrics.running.Load())},
+		{"waved_store_jobs", "gauge", "Job records held in the result store.",
+			float64(s.store.size())},
+		{"waved_cycles_per_second", "gauge",
+			"Aggregate simulation rate across running jobs.", rate},
+		{"waved_cycles_total", "counter", "Simulated cycles across all jobs.",
+			float64(s.metrics.cycles.Load())},
+		{"waved_jobs_submitted_total", "counter", "Jobs accepted into the queue.",
+			float64(s.metrics.submitted.Load())},
+		{"waved_jobs_rejected_total", "counter",
+			"Submissions refused with 429 (queue full).",
+			float64(s.metrics.rejected.Load())},
+		{"waved_jobs_completed_total", "counter", "Jobs finished successfully.",
+			float64(s.metrics.completed.Load())},
+		{"waved_jobs_failed_total", "counter", "Jobs finished with an error.",
+			float64(s.metrics.failed.Load())},
+		{"waved_jobs_cancelled_total", "counter",
+			"Jobs cancelled by clients or by shutdown.",
+			float64(s.metrics.cancelled.Load())},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n",
+			r.name, r.help, r.name, r.typ, r.name, r.value)
+	}
+}

@@ -1,0 +1,47 @@
+package server
+
+import "sync"
+
+// jobQueue is the bounded submit queue. Backpressure is explicit: push
+// never blocks — a full queue reports false so the API can answer 429 with
+// Retry-After instead of stalling the client. The mutex-guarded closed
+// flag makes push/close race-free (a bare channel would panic on
+// send-after-close during shutdown).
+type jobQueue struct {
+	mu     sync.RWMutex
+	closed bool
+	ch     chan *Job
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	return &jobQueue{ch: make(chan *Job, capacity)}
+}
+
+// push enqueues j. full means the queue was at capacity; closed means
+// intake has stopped (shutdown).
+func (q *jobQueue) push(j *Job) (ok, closed bool) {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		return false, true
+	}
+	select {
+	case q.ch <- j:
+		return true, false
+	default:
+		return false, false
+	}
+}
+
+// close stops intake; workers drain the remainder and exit.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// depth is the number of jobs waiting (not running).
+func (q *jobQueue) depth() int { return len(q.ch) }

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sentinel submission errors; the HTTP layer maps them to status codes.
+var (
+	// ErrQueueFull: the bounded queue is at capacity (429 + Retry-After).
+	ErrQueueFull = errors.New("job queue full")
+	// ErrDraining: the server is shutting down and not accepting jobs (503).
+	ErrDraining = errors.New("server draining, not accepting jobs")
+)
+
+// Config sizes a Server. Zero fields take the documented defaults.
+type Config struct {
+	// QueueCap bounds jobs waiting to run (default 16).
+	QueueCap int
+	// Workers is the number of concurrently running jobs (default 2).
+	Workers int
+	// StoreCap bounds retained job records, LRU-evicting terminal jobs
+	// (default 256).
+	StoreCap int
+	// DefaultInterval is the progress-snapshot period in cycles for jobs
+	// that don't set interval_cycles (default 1000).
+	DefaultInterval int64
+	// DefaultTimeout caps jobs that don't set timeout_sec (default 10m;
+	// negative disables the default deadline).
+	DefaultTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.StoreCap <= 0 {
+		c.StoreCap = 256
+	}
+	if c.DefaultInterval <= 0 {
+		c.DefaultInterval = 1000
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 10 * time.Minute
+	}
+	if c.DefaultTimeout < 0 {
+		c.DefaultTimeout = 0
+	}
+	return c
+}
+
+// Server is the simulation-serving core: queue, worker pool, store and
+// metrics. Create with New; stop with Shutdown.
+type Server struct {
+	cfg     Config
+	queue   *jobQueue
+	store   *store
+	metrics metrics
+
+	nextID   atomic.Int64
+	draining atomic.Bool
+
+	wg           sync.WaitGroup
+	shutdownOnce sync.Once
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		queue: newJobQueue(cfg.QueueCap),
+		store: newStore(cfg.StoreCap),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue.ch {
+				s.execute(j)
+			}
+		}()
+	}
+	return s
+}
+
+// Submit validates and enqueues a job spec. The returned Job is already
+// resolvable in the store under its ID. Errors: validation failures,
+// ErrQueueFull (back off and retry) or ErrDraining.
+func (s *Server) Submit(spec Spec) (*Job, error) {
+	if err := s.normalize(&spec); err != nil {
+		return nil, err
+	}
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	id := fmt.Sprintf("j%08d", s.nextID.Add(1))
+	j := newJob(id, spec, time.Now())
+	s.store.add(j)
+	ok, closed := s.queue.push(j)
+	if closed {
+		s.store.remove(id)
+		return nil, ErrDraining
+	}
+	if !ok {
+		s.store.remove(id)
+		s.metrics.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.metrics.submitted.Add(1)
+	return j, nil
+}
+
+// Job resolves a job ID.
+func (s *Server) Job(id string) (*Job, bool) { return s.store.get(id) }
+
+// Cancel requests cancellation: queued jobs settle immediately, running
+// jobs stop at the next cycle boundary. Returns false once terminal.
+func (s *Server) Cancel(j *Job) bool {
+	prior, acted := j.requestCancel(time.Now())
+	if acted && prior == StateQueued {
+		// Never reaches a worker; count it here. Running jobs are counted
+		// by execute when the context error surfaces.
+		s.metrics.cancelled.Add(1)
+	}
+	return acted
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// retryAfter estimates seconds until queue space frees, for Retry-After.
+func (s *Server) retryAfter() int {
+	secs := s.queue.depth() / s.cfg.Workers
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// Shutdown stops intake, cancels still-queued jobs and waits for running
+// jobs to finish. If ctx expires first, running jobs are cancelled (they
+// stop at the next cycle boundary, keeping their progress backlog and a
+// clean cancelled state) and Shutdown waits for them to settle before
+// returning ctx's error. Idempotent; later calls return nil immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.shutdownOnce.Do(func() {
+		s.draining.Store(true)
+		s.store.each(func(j *Job) {
+			if j.State() == StateQueued {
+				s.Cancel(j)
+			}
+		})
+		s.queue.close()
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			s.store.each(func(j *Job) { j.requestCancel(time.Now()) })
+			<-done
+			err = ctx.Err()
+		}
+	})
+	return err
+}

@@ -1,0 +1,132 @@
+// Package server implements waved's simulation-serving core: a bounded
+// job queue with explicit backpressure feeding a worker pool, an in-memory
+// LRU result store, NDJSON progress streaming and Prometheus-text metrics,
+// all over the deterministic wave simulator. Because the simulator is
+// bit-deterministic, a job's result depends only on its spec — never on
+// server concurrency, queue position or wall-clock timing — and the result
+// bytes for identical specs are identical (enforced by the e2e tests).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/wave"
+)
+
+// Job kinds accepted in Spec.Kind.
+const (
+	// KindLoad runs open-loop traffic (wave.Simulator.RunLoadContext).
+	KindLoad = "load"
+	// KindClosed runs request-reply traffic (RunClosedLoopContext).
+	KindClosed = "closed"
+	// KindExperiment runs one registered experiment sweep (e1..e21).
+	KindExperiment = "experiment"
+)
+
+// SimConfig is wave.Config with merge-over-defaults JSON decoding: absent
+// fields keep their wave.DefaultConfig values, so a client can submit
+// {"protocol": "clrp"} without restating the whole configuration. Field
+// names match wave.Config (JSON matching is case-insensitive).
+type SimConfig wave.Config
+
+// UnmarshalJSON decodes b over a fresh DefaultConfig.
+func (c *SimConfig) UnmarshalJSON(b []byte) error {
+	*c = SimConfig(wave.DefaultConfig())
+	return json.Unmarshal(b, (*wave.Config)(c))
+}
+
+// Spec describes one job. Exactly the fields for its Kind must be set;
+// the rest stay zero. Submit validates and fills scale defaults, so the
+// spec echoed in job views shows the values that actually ran.
+type Spec struct {
+	Kind string `json:"kind"`
+
+	// Config overrides the simulator configuration (nil = DefaultConfig).
+	Config *SimConfig `json:"config,omitempty"`
+	// Faults injects this many deterministic link faults before the run.
+	Faults int `json:"faults,omitempty"`
+
+	// Load/Warmup/Measure configure a KindLoad job.
+	Load    *wave.Workload `json:"load,omitempty"`
+	Warmup  int64          `json:"warmup,omitempty"`
+	Measure int64          `json:"measure,omitempty"`
+
+	// Closed/MaxCycles configure a KindClosed job.
+	Closed    *wave.ClosedWorkload `json:"closed,omitempty"`
+	MaxCycles int64                `json:"max_cycles,omitempty"`
+
+	// Experiment/Params configure a KindExperiment job. Params nil runs
+	// the reduced Quick scale.
+	Experiment string              `json:"experiment,omitempty"`
+	Params     *experiments.Params `json:"params,omitempty"`
+
+	// IntervalCycles is the progress-snapshot period for load/closed jobs
+	// (0 = server default). Experiments report per sweep point instead.
+	IntervalCycles int64 `json:"interval_cycles,omitempty"`
+	// TimeoutSec caps the job's runtime (0 = server default deadline).
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// simConfig returns the effective simulator configuration.
+func (sp *Spec) simConfig() wave.Config {
+	if sp.Config != nil {
+		return wave.Config(*sp.Config)
+	}
+	return wave.DefaultConfig()
+}
+
+// experimentFn resolves an experiment ID against the registry.
+func experimentFn(id string) func(context.Context, experiments.Params) (*experiments.Report, error) {
+	for _, e := range experiments.Registry() {
+		if e.ID == id {
+			return e.Fn
+		}
+	}
+	return nil
+}
+
+// normalize validates sp and fills scale defaults from the server config.
+func (s *Server) normalize(sp *Spec) error {
+	if sp.TimeoutSec < 0 || sp.IntervalCycles < 0 || sp.Faults < 0 {
+		return errors.New("timeout_sec, interval_cycles and faults must be >= 0")
+	}
+	if sp.IntervalCycles == 0 {
+		sp.IntervalCycles = s.cfg.DefaultInterval
+	}
+	switch sp.Kind {
+	case KindLoad:
+		if sp.Load == nil {
+			return errors.New(`a "load" job needs a "load" workload object`)
+		}
+		if sp.Warmup < 0 || sp.Measure < 0 {
+			return errors.New("warmup and measure must be >= 0")
+		}
+		if sp.Measure == 0 {
+			sp.Measure = 10_000
+		}
+	case KindClosed:
+		if sp.Closed == nil {
+			return errors.New(`a "closed" job needs a "closed" workload object`)
+		}
+		if sp.MaxCycles < 0 {
+			return errors.New("max_cycles must be >= 0")
+		}
+		if sp.MaxCycles == 0 {
+			sp.MaxCycles = 50_000_000
+		}
+	case KindExperiment:
+		sp.Experiment = strings.ToLower(strings.TrimSpace(sp.Experiment))
+		if experimentFn(sp.Experiment) == nil {
+			return fmt.Errorf("unknown experiment %q (want e1..e21)", sp.Experiment)
+		}
+	default:
+		return fmt.Errorf("unknown job kind %q (want %q, %q or %q)",
+			sp.Kind, KindLoad, KindClosed, KindExperiment)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func terminalJob(id string) *Job {
+	j := newJob(id, Spec{Kind: KindLoad}, time.Time{})
+	j.finish(StateDone, []byte(`{}`), "", time.Time{})
+	return j
+}
+
+func TestStoreEvictsOldestTerminal(t *testing.T) {
+	st := newStore(2)
+	st.add(terminalJob("a"))
+	st.add(terminalJob("b"))
+	st.add(terminalJob("c"))
+	if _, ok := st.get("a"); ok {
+		t.Fatal("oldest terminal job survived eviction")
+	}
+	for _, id := range []string{"b", "c"} {
+		if _, ok := st.get(id); !ok {
+			t.Fatalf("job %s evicted prematurely", id)
+		}
+	}
+}
+
+func TestStoreGetRefreshesRecency(t *testing.T) {
+	st := newStore(2)
+	st.add(terminalJob("a"))
+	st.add(terminalJob("b"))
+	st.get("a") // a becomes most recently used; b is now the LRU victim
+	st.add(terminalJob("c"))
+	if _, ok := st.get("b"); ok {
+		t.Fatal("LRU victim survived")
+	}
+	if _, ok := st.get("a"); !ok {
+		t.Fatal("recently used job evicted")
+	}
+}
+
+func TestStoreNeverEvictsLiveJobs(t *testing.T) {
+	st := newStore(1)
+	live := []*Job{
+		newJob("q", Spec{Kind: KindLoad}, time.Time{}), // queued
+		newJob("r", Spec{Kind: KindLoad}, time.Time{}),
+	}
+	live[1].start(func() {}, time.Time{}) // running
+	st.add(live[0])
+	st.add(live[1])
+	if st.size() != 2 {
+		t.Fatalf("store dropped a live job: size=%d", st.size())
+	}
+	// A terminal job arriving over capacity is itself the only candidate.
+	st.add(terminalJob("t"))
+	for _, j := range live {
+		if _, ok := st.get(j.ID); !ok {
+			t.Fatalf("live job %s evicted", j.ID)
+		}
+	}
+}
+
+func TestStoreRemove(t *testing.T) {
+	st := newStore(4)
+	st.add(terminalJob("a"))
+	st.remove("a")
+	if _, ok := st.get("a"); ok {
+		t.Fatal("removed job still resolvable")
+	}
+	if st.size() != 0 {
+		t.Fatalf("size = %d after remove", st.size())
+	}
+}

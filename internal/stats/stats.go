@@ -68,6 +68,9 @@ func (s *Series) ensureSorted() {
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) by nearest-rank.
+// An empty series answers 0 — never an index panic — so callers that
+// snapshot before the first sample (e.g. waved's interval-0 progress line)
+// get a defined, finite value.
 func (s *Series) Percentile(p float64) float64 {
 	if len(s.samples) == 0 {
 		return 0
@@ -86,10 +89,10 @@ func (s *Series) Percentile(p float64) float64 {
 	return s.samples[rank]
 }
 
-// Min returns the smallest sample.
+// Min returns the smallest sample (0 with no samples, like Percentile).
 func (s *Series) Min() float64 { return s.Percentile(0) }
 
-// Max returns the largest sample.
+// Max returns the largest sample (0 with no samples, like Percentile).
 func (s *Series) Max() float64 { return s.Percentile(100) }
 
 // Histogram bins samples into `bins` equal-width buckets over [min, max] and
@@ -179,6 +182,31 @@ func (r *Run) Throughput(nodes int) float64 {
 		return 0
 	}
 	return float64(r.FlitsDelivered) / float64(r.end-r.start) / float64(nodes)
+}
+
+// Snapshot is a point-in-time digest of a Run for live progress reporting
+// (the payload of waved's NDJSON stream). Every field is defined for an
+// empty window: before the first measured delivery the latency figures and
+// throughput are all 0 (see Percentile).
+type Snapshot struct {
+	Delivered  int64   `json:"delivered"`
+	AvgLatency float64 `json:"avg_latency"`
+	P50Latency float64 `json:"p50_latency"`
+	P99Latency float64 `json:"p99_latency"`
+	Throughput float64 `json:"throughput"`
+}
+
+// Snapshot summarises the deliveries recorded so far for a `nodes`-node
+// network. It is safe to call at any point during a run, including before
+// any delivery has been recorded.
+func (r *Run) Snapshot(nodes int) Snapshot {
+	return Snapshot{
+		Delivered:  r.MsgsDelivered,
+		AvgLatency: r.Latency.Mean(),
+		P50Latency: r.Latency.Percentile(50),
+		P99Latency: r.Latency.Percentile(99),
+		Throughput: r.Throughput(nodes),
+	}
 }
 
 // Summary renders a one-line digest.

@@ -189,3 +189,47 @@ func TestCI95(t *testing.T) {
 		t.Fatalf("CI95 = %g, want small positive", ci)
 	}
 }
+
+// TestEmptySeriesDefined: every distribution query on a zero-sample series
+// must answer 0 — the contract waved's interval-0 streaming snapshot relies
+// on (it snapshots a Run before the first measured delivery).
+func TestEmptySeriesDefined(t *testing.T) {
+	var s Series
+	for name, got := range map[string]float64{
+		"Mean":            s.Mean(),
+		"Std":             s.Std(),
+		"Min":             s.Min(),
+		"Max":             s.Max(),
+		"Percentile(0)":   s.Percentile(0),
+		"Percentile(50)":  s.Percentile(50),
+		"Percentile(99)":  s.Percentile(99),
+		"Percentile(100)": s.Percentile(100),
+	} {
+		if got != 0 {
+			t.Fatalf("%s on empty series = %g, want 0", name, got)
+		}
+	}
+	if s.N() != 0 {
+		t.Fatalf("N on empty series = %d", s.N())
+	}
+}
+
+// TestSnapshotEmptyRun: a Snapshot taken before any delivery (interval 0 of
+// a streamed run) is all zeros, not NaN or a panic.
+func TestSnapshotEmptyRun(t *testing.T) {
+	r := NewRun(1000)
+	snap := r.Snapshot(16)
+	if snap != (Snapshot{}) {
+		t.Fatalf("empty-run snapshot = %+v, want zero value", snap)
+	}
+	// Warm-up deliveries stay excluded from the snapshot too.
+	r.Record(10, 60, 8, false)
+	if snap := r.Snapshot(16); snap.Delivered != 0 {
+		t.Fatalf("warm-up delivery leaked into snapshot: %+v", snap)
+	}
+	r.Record(2000, 2100, 8, true)
+	snap = r.Snapshot(16)
+	if snap.Delivered != 1 || snap.AvgLatency != 100 || snap.P50Latency != 100 || snap.P99Latency != 100 {
+		t.Fatalf("snapshot after one delivery = %+v", snap)
+	}
+}

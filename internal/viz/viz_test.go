@@ -81,3 +81,53 @@ func TestHistogramValidation(t *testing.T) {
 		t.Fatal("0 bins accepted")
 	}
 }
+
+// TestHeatMapAllZeroFlits: samples that carry no traffic render a grid of
+// zeros rather than dividing by zero.
+func TestHeatMapAllZeroFlits(t *testing.T) {
+	loads := []LinkSample{
+		{From: 0, To: 1, Dim: 0, Flits: 0},
+		{From: 1, To: 0, Dim: 0, Flits: 0},
+	}
+	var b strings.Builder
+	if err := HeatMap(&b, 2, 2, loads); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("line count = %d:\n%s", len(lines), b.String())
+	}
+	for _, row := range lines[1:] {
+		if row != "0 0" {
+			t.Fatalf("zero-traffic row = %q", row)
+		}
+	}
+}
+
+// TestHistogramSingleSample: one sample lands in one bin and the bars stay
+// finite (no zero-range division).
+func TestHistogramSingleSample(t *testing.T) {
+	var b strings.Builder
+	if err := Histogram(&b, []int64{5}, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "\n") != 4 {
+		t.Fatalf("rows:\n%s", out)
+	}
+	if strings.Count(out, "#") == 0 {
+		t.Fatal("single sample drew no bar")
+	}
+}
+
+// TestHistogramAllEqual: identical samples (zero value range) must not
+// panic and must account for every sample.
+func TestHistogramAllEqual(t *testing.T) {
+	var b strings.Builder
+	if err := Histogram(&b, []int64{7, 7, 7, 7}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), " 4") {
+		t.Fatalf("all-equal samples miscounted:\n%s", b.String())
+	}
+}

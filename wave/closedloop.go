@@ -1,6 +1,7 @@
 package wave
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sim"
@@ -94,6 +95,14 @@ type pendingReq struct {
 // maxCycles bounds the run; exceeding it (or tripping the watchdog) is an
 // error.
 func (s *Simulator) RunClosedLoop(w ClosedWorkload, maxCycles int64) (*ClosedResult, error) {
+	return s.RunClosedLoopContext(context.Background(), w, maxCycles)
+}
+
+// RunClosedLoopContext is RunClosedLoop with between-cycle cancellation.
+// Any OnDelivered callback registered before the call observes every
+// delivery (requests and replies included) before the round-trip matching
+// consumes it.
+func (s *Simulator) RunClosedLoopContext(ctx context.Context, w ClosedWorkload, maxCycles int64) (*ClosedResult, error) {
 	if err := w.validate(); err != nil {
 		return nil, err
 	}
@@ -136,6 +145,11 @@ func (s *Simulator) RunClosedLoop(w ClosedWorkload, maxCycles int64) (*ClosedRes
 
 	prev := s.onDelivered
 	s.OnDelivered(func(d Delivery) {
+		// Chained observers (e.g. waved's progress recorder) see every
+		// delivery; the request/reply matching below then consumes it.
+		if prev != nil {
+			prev(d)
+		}
 		totalMsgs++
 		if d.ViaCircuit {
 			circuitMsgs++
@@ -154,10 +168,6 @@ func (s *Simulator) RunClosedLoop(w ClosedWorkload, maxCycles int64) (*ClosedRes
 			st := &ns[pr.requester]
 			st.outstanding--
 			st.nextIssue = s.now + int64(w.ThinkCycles)
-			return
-		}
-		if prev != nil {
-			prev(d)
 		}
 	})
 	defer s.OnDelivered(prev)
@@ -186,11 +196,11 @@ func (s *Simulator) RunClosedLoop(w ClosedWorkload, maxCycles int64) (*ClosedRes
 				st.outstanding++
 			}
 		}
-		if err := s.Step(); err != nil {
+		if err := s.stepCtx(ctx); err != nil {
 			return nil, err
 		}
 	}
-	if err := s.Drain(maxCycles); err != nil {
+	if err := s.DrainContext(ctx, maxCycles); err != nil {
 		return nil, err
 	}
 

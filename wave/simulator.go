@@ -1,6 +1,7 @@
 package wave
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -38,6 +39,9 @@ type Simulator struct {
 	now  int64
 
 	onDelivered func(Delivery)
+
+	intervalEvery int64
+	intervalFn    func(now int64)
 }
 
 // New builds a simulator from the configuration.
@@ -134,10 +138,47 @@ func (s *Simulator) Step() error {
 	return err
 }
 
+// OnInterval registers fn to be called whenever now%every == 0 during the
+// run loops (Run, Drain, RunLoad, RunClosedLoop, RunProgram and their
+// Context variants). The hook observes — it must not Send or Step — and it
+// has no effect on simulation state, so hooked and unhooked runs stay
+// bit-identical. every <= 0 or a nil fn clears the hook.
+func (s *Simulator) OnInterval(every int64, fn func(now int64)) {
+	if every <= 0 || fn == nil {
+		s.intervalEvery, s.intervalFn = 0, nil
+		return
+	}
+	s.intervalEvery, s.intervalFn = every, fn
+}
+
+// stepCtx advances one cycle after checking for cancellation, then fires
+// the interval hook. Every run loop advances through here, so a cancelled
+// run stops on an inter-cycle boundary with the simulator state consistent
+// (and inspectable) rather than mid-cycle.
+func (s *Simulator) stepCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := s.Step(); err != nil {
+		return err
+	}
+	if s.intervalFn != nil && s.now%s.intervalEvery == 0 {
+		s.intervalFn(s.now)
+	}
+	return nil
+}
+
 // Run advances `cycles` cycles.
 func (s *Simulator) Run(cycles int64) error {
+	return s.RunContext(context.Background(), cycles)
+}
+
+// RunContext advances `cycles` cycles, stopping early with the context's
+// error when ctx is cancelled. The check runs between cycles, so a
+// cancelled run never leaves the fabric mid-cycle.
+func (s *Simulator) RunContext(ctx context.Context, cycles int64) error {
 	for i := int64(0); i < cycles; i++ {
-		if err := s.Step(); err != nil {
+		if err := s.stepCtx(ctx); err != nil {
 			return err
 		}
 	}
@@ -147,12 +188,17 @@ func (s *Simulator) Run(cycles int64) error {
 // Drain runs until no messages are in flight, up to maxCycles additional
 // cycles. It returns an error on watchdog trip or timeout.
 func (s *Simulator) Drain(maxCycles int64) error {
+	return s.DrainContext(context.Background(), maxCycles)
+}
+
+// DrainContext is Drain with between-cycle cancellation.
+func (s *Simulator) DrainContext(ctx context.Context, maxCycles int64) error {
 	deadline := s.now + maxCycles
 	for s.mgr.InFlight() > 0 {
 		if s.now >= deadline {
 			return fmt.Errorf("wave: %d messages still in flight after %d cycles", s.mgr.InFlight(), maxCycles)
 		}
-		if err := s.Step(); err != nil {
+		if err := s.stepCtx(ctx); err != nil {
 			return err
 		}
 	}
@@ -326,6 +372,11 @@ func (s *Simulator) InjectFaults(count int, seed uint64) error {
 // same program then serves as a workload replay against the baselines, with
 // sends following the active protocol's own policy.
 func (s *Simulator) RunProgram(r io.Reader, drainBudget int64) error {
+	return s.RunProgramContext(context.Background(), r, drainBudget)
+}
+
+// RunProgramContext is RunProgram with between-cycle cancellation.
+func (s *Simulator) RunProgramContext(ctx context.Context, r io.Reader, drainBudget int64) error {
 	prog, err := trace.Parse(r)
 	if err != nil {
 		return err
@@ -350,9 +401,9 @@ func (s *Simulator) RunProgram(r io.Reader, drainBudget int64) error {
 				s.Send(d.Src, d.Dst, d.Flits, !d.Wormhole)
 			}
 		})
-		if err := s.Step(); err != nil {
+		if err := s.stepCtx(ctx); err != nil {
 			return err
 		}
 	}
-	return s.Drain(drainBudget)
+	return s.DrainContext(ctx, drainBudget)
 }

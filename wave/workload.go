@@ -1,6 +1,7 @@
 package wave
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fault"
@@ -112,6 +113,13 @@ func (r Result) String() string {
 // returns aggregate statistics. The simulator must be freshly constructed
 // (cycle 0) for meaningful warm-up handling.
 func (s *Simulator) RunLoad(w Workload, warmup, measure int64) (*Result, error) {
+	return s.RunLoadContext(context.Background(), w, warmup, measure)
+}
+
+// RunLoadContext is RunLoad with between-cycle cancellation: a cancelled
+// run returns the context's error as soon as the current cycle completes,
+// leaving the simulator consistent (counters and Stats remain inspectable).
+func (s *Simulator) RunLoadContext(ctx context.Context, w Workload, warmup, measure int64) (*Result, error) {
 	pat, err := traffic.NewPattern(w.Pattern, s.topo)
 	if err != nil {
 		return nil, err
@@ -150,12 +158,12 @@ func (s *Simulator) RunLoad(w Workload, warmup, measure int64) (*Result, error) 
 		gen.Tick(func(src, dst topology.Node, length int) {
 			s.mgr.Send(src, dst, length, s.now, w.WantCircuit)
 		})
-		if err := s.Step(); err != nil {
+		if err := s.stepCtx(ctx); err != nil {
 			return nil, err
 		}
 	}
 	// Drain with a generous budget so tail latencies are complete.
-	if err := s.Drain((warmup + measure) * 20); err != nil {
+	if err := s.DrainContext(ctx, (warmup+measure)*20); err != nil {
 		return nil, err
 	}
 
