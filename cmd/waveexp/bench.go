@@ -29,6 +29,29 @@ type benchRun struct {
 	AllocsPerCycle     float64 `json:"allocs_per_cycle"`
 	AllocBytesPerCycle float64 `json:"alloc_bytes_per_cycle"`
 	NumGC              uint32  `json:"num_gc"`
+	// IdlePortFraction is the mean fraction of wormhole input ports outside
+	// the active set, sampled every 100 cycles — the headroom the
+	// activity-driven engine converts into speed. Zero (omitted) for
+	// full-scan runs, which do not track activity.
+	IdlePortFraction float64 `json:"idle_port_fraction,omitempty"`
+}
+
+// lowloadReport is the activity-driven engine's payoff measurement: the same
+// 16x16 torus at 0.02 flits/node/cycle — the low-to-moderate load region
+// where the paper's protocol comparisons live — run with the active-set
+// engine against the full-scan oracle.
+type lowloadReport struct {
+	Pattern  string  `json:"pattern"`
+	Load     float64 `json:"load_flits_node_cycle"`
+	MsgFlits int     `json:"message_flits"`
+	Warmup   int64   `json:"warmup_cycles"`
+	Measure  int64   `json:"measure_cycles"`
+
+	Runs []benchRun `json:"runs"`
+	// SpeedupActiveOverFullScan is active-set cycles/s over full-scan
+	// cycles/s, both serial.
+	SpeedupActiveOverFullScan float64 `json:"speedup_active_over_full_scan"`
+	StatsIdentical            bool    `json:"stats_identical"`
 }
 
 // benchReport is the machine-readable artifact -bench-json writes; the seed
@@ -55,6 +78,8 @@ type benchReport struct {
 	Speedup        float64 `json:"speedup_parallel_over_serial"`
 	StatsIdentical bool    `json:"stats_identical"`
 	Note           string  `json:"note,omitempty"`
+
+	Lowload *lowloadReport `json:"lowload,omitempty"`
 }
 
 // benchConfig is the E7-style 16x16 stress configuration: near-saturation
@@ -81,19 +106,26 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 	}
 	cfg, w := benchConfig(seed)
 
-	measureOne := func(name string, nw int) (benchRun, wave.Stats, error) {
-		c := cfg
-		c.Workers = nw
+	measureOne := func(name string, c wave.Config, cw wave.Workload, wu, ms int64) (benchRun, wave.Stats, error) {
 		s, err := wave.New(c)
 		if err != nil {
 			return benchRun{}, wave.Stats{}, err
 		}
 		defer s.Close()
+		var idleSum float64
+		var idleSamples int64
+		if !c.DisableActivityTracking {
+			s.OnInterval(100, func(int64) {
+				active, total := s.EnginePorts()
+				idleSum += 1 - float64(active)/float64(total)
+				idleSamples++
+			})
+		}
 		var msBefore, msAfter runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
-		res, err := s.RunLoad(w, warmup, measure)
+		res, err := s.RunLoad(cw, wu, ms)
 		if err != nil {
 			return benchRun{}, wave.Stats{}, fmt.Errorf("%s: %w", name, err)
 		}
@@ -101,9 +133,9 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 		runtime.ReadMemStats(&msAfter)
 		st := s.Stats()
 		cycles := float64(st.Cycle)
-		return benchRun{
+		run := benchRun{
 			Name:            name,
-			Workers:         nw,
+			Workers:         c.Workers,
 			WallSeconds:     wall,
 			Cycles:          st.Cycle,
 			CyclesPerSecond: float64(st.Cycle) / wall,
@@ -115,16 +147,50 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 			AllocsPerCycle:     float64(msAfter.Mallocs-msBefore.Mallocs) / cycles,
 			AllocBytesPerCycle: float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / cycles,
 			NumGC:              msAfter.NumGC - msBefore.NumGC,
-		}, st, nil
+		}
+		if idleSamples > 0 {
+			run.IdlePortFraction = idleSum / float64(idleSamples)
+		}
+		return run, st, nil
 	}
 
-	serial, serialStats, err := measureOne("serial", 1)
+	serialCfg := cfg
+	serialCfg.Workers = 1
+	parallelCfg := cfg
+	parallelCfg.Workers = workers
+	serial, serialStats, err := measureOne("serial", serialCfg, w, warmup, measure)
 	if err != nil {
 		return err
 	}
-	parallel, parallelStats, err := measureOne("parallel", workers)
+	parallel, parallelStats, err := measureOne("parallel", parallelCfg, w, warmup, measure)
 	if err != nil {
 		return err
+	}
+
+	// Low-load point: the activity-driven engine against the full-scan
+	// oracle, serial, on the same 16x16 torus at 1/12th the stress load.
+	lowW := wave.Workload{Pattern: "uniform", Load: 0.02, FixedLength: 32}
+	lowCfg := cfg
+	lowCfg.Workers = 1
+	lowScanCfg := lowCfg
+	lowScanCfg.DisableActivityTracking = true
+	lowActive, lowActiveStats, err := measureOne("lowload-active", lowCfg, lowW, warmup, measure)
+	if err != nil {
+		return err
+	}
+	lowScan, lowScanStats, err := measureOne("lowload-fullscan", lowScanCfg, lowW, warmup, measure)
+	if err != nil {
+		return err
+	}
+	low := &lowloadReport{
+		Pattern:                   lowW.Pattern,
+		Load:                      lowW.Load,
+		MsgFlits:                  lowW.FixedLength,
+		Warmup:                    warmup,
+		Measure:                   measure,
+		Runs:                      []benchRun{lowActive, lowScan},
+		SpeedupActiveOverFullScan: lowActive.CyclesPerSecond / lowScan.CyclesPerSecond,
+		StatsIdentical:            lowActiveStats == lowScanStats,
 	}
 
 	rep := benchReport{
@@ -143,12 +209,16 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 		Runs:           []benchRun{serial, parallel},
 		Speedup:        parallel.CyclesPerSecond / serial.CyclesPerSecond,
 		StatsIdentical: serialStats == parallelStats,
+		Lowload:        low,
 	}
 	if runtime.NumCPU() == 1 {
 		rep.Note = "single-CPU host: workers cannot overlap, so parallel speedup hovers near 1.0; stats_identical still certifies the determinism contract"
 	}
 	if !rep.StatsIdentical {
 		return fmt.Errorf("bench: serial and parallel Stats diverged — determinism bug")
+	}
+	if !low.StatsIdentical {
+		return fmt.Errorf("bench: active-set and full-scan Stats diverged — activity-tracking bug")
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -165,5 +235,8 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 	}
 	fmt.Fprintf(out, "bench: %s — %.0f cycles/s serial, %.0f cycles/s parallel (%d workers), speedup %.2fx, stats identical: %v\n",
 		path, serial.CyclesPerSecond, parallel.CyclesPerSecond, workers, rep.Speedup, rep.StatsIdentical)
+	fmt.Fprintf(out, "bench lowload: %.0f cycles/s active-set vs %.0f cycles/s full-scan (%.2fx), idle ports %.1f%%, stats identical: %v\n",
+		lowActive.CyclesPerSecond, lowScan.CyclesPerSecond, low.SpeedupActiveOverFullScan,
+		100*lowActive.IdlePortFraction, low.StatsIdentical)
 	return nil
 }

@@ -120,6 +120,7 @@ func runHeadline(out io.Writer, reps int, seed uint64, quick bool) error {
 			if err != nil {
 				return 0, err
 			}
+			defer sim.Close()
 			res, err := sim.RunLoad(wave.Workload{
 				Pattern: "uniform", Load: 0.02, FixedLength: 256,
 				WantCircuit: true, Seed: s + 77,

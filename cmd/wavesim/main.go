@@ -50,6 +50,7 @@ func run(args []string, out io.Writer) error {
 		recovery  = fs.Int64("recovery", 0, "abort-and-retry deadlock recovery timeout in cycles (0 = off)")
 		seed      = fs.Uint64("seed", 1, "RNG seed (identical seeds => identical runs)")
 		workers   = fs.Int("workers", 1, "cycle-engine workers (results are identical for any value)")
+		fullScan  = fs.Bool("fullscan", false, "disable activity tracking: full port scans every cycle, no quiescence fast-forward (oracle mode; results are identical)")
 
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -124,6 +125,7 @@ func run(args []string, out io.Writer) error {
 	cfg.RecoveryTimeout = *recovery
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.DisableActivityTracking = *fullScan
 	switch *topoKind {
 	case "hypercube":
 		cfg.Topology = wave.TopologyConfig{Kind: "hypercube", Dims: *hyperDims}

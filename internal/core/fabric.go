@@ -22,7 +22,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
 
 	"repro/internal/circuit"
 	"repro/internal/engine"
@@ -87,6 +86,12 @@ type Params struct {
 	// way; the flag exists for oracle cross-checks and for memory-constrained
 	// runs on topologies below the automatic size gate.
 	DisableRoutingTable bool
+	// DisableActivityTracking runs the engines as full scans over every port
+	// and disables the quiescence fast-forward, making each cycle cost
+	// O(network) regardless of load. Results are bit-identical either way;
+	// the full scan is the cross-check oracle for the activity-driven engine
+	// (see wormhole/activity.go).
+	DisableActivityTracking bool
 	// Seed drives every random decision in the fabric.
 	Seed uint64
 	// Workers sets the worker count of the parallel cycle engine
@@ -164,6 +169,10 @@ type Fabric struct {
 	pool   *engine.Pool
 	now    int64
 
+	// fastForward enables the quiescent-cycle skip in Cycle (off in the
+	// DisableActivityTracking oracle mode).
+	fastForward bool
+
 	// transfersInFlight counts circuit messages between send and delivery.
 	transfersInFlight int
 	// oldestTransfer tracks ages for the watchdog.
@@ -192,7 +201,10 @@ func New(topo topology.Topology, prm Params, hooks Hooks) (*Fabric, error) {
 		// Freeze the routing function into a (here, dst) lookup table: the
 		// algorithmic implementation above remains the generator and oracle,
 		// the per-cycle hot path becomes a zero-allocation slice-view copy.
-		fn = routing.WithTable(fn, topo, routing.DefaultTableMaxNodes)
+		// The memoizing wrapper shares one arena across identically shaped
+		// fabrics, so sweep points and back-to-back server jobs stop paying
+		// the table build repeatedly.
+		fn = routing.WithTableCached(fn, topo, routing.DefaultTableMaxNodes)
 	}
 	workers := prm.Workers
 	if workers < 1 {
@@ -206,8 +218,9 @@ func New(topo topology.Topology, prm Params, hooks Hooks) (*Fabric, error) {
 		events:         engine.NewShardedEvents(workers),
 		transferInject: make(map[flit.MsgID]int64),
 		WaveLinkFlits:  make([]int64, topo.NumLinkSlots()),
+		fastForward:    !prm.DisableActivityTracking,
 	}
-	f.WH, err = wormhole.New(topo, fn, wormhole.Params{NumVCs: prm.NumVCs, BufDepth: prm.BufDepth, CreditDelay: prm.CreditDelay, RouteDelay: prm.RouteDelay}, wormhole.Hooks{
+	f.WH, err = wormhole.New(topo, fn, wormhole.Params{NumVCs: prm.NumVCs, BufDepth: prm.BufDepth, CreditDelay: prm.CreditDelay, RouteDelay: prm.RouteDelay, DisableActivityTracking: prm.DisableActivityTracking}, wormhole.Hooks{
 		Delivered: func(m flit.Message, now int64) {
 			if hooks.DeliveredWormhole != nil {
 				hooks.DeliveredWormhole(m, now)
@@ -241,15 +254,13 @@ func New(topo topology.Topology, prm Params, hooks Hooks) (*Fabric, error) {
 		f.pool = engine.NewPool(workers)
 		f.WH.SetParallel(workers)
 		f.PCS.SetParallel(workers)
-		// Safety net for callers that drop the fabric without Close: the pool's
-		// helper goroutines otherwise outlive it.
-		runtime.SetFinalizer(f, (*Fabric).Close)
 	}
 	return f, nil
 }
 
-// Close releases the worker pool. Safe to call repeatedly, and a no-op for
-// serial fabrics.
+// Close releases the worker pool. Every parallel fabric must be closed when
+// done — the pool's helper goroutines otherwise outlive it. Safe to call
+// repeatedly, and a no-op for serial fabrics.
 func (f *Fabric) Close() {
 	if f.pool != nil {
 		f.pool.Close()
@@ -282,6 +293,17 @@ func (f *Fabric) Cycle(now int64) {
 		ev.Fn(now)
 		f.progress()
 	}
+	if f.fastForward && f.WH.InFlight() == 0 && f.PCS.Idle() {
+		// Quiescent cycle: no wormhole message holds any resource (so every
+		// port guard fails) and the PCS engine has no control traffic. A full
+		// Cycle would change nothing but the clocks and the rotating
+		// arbitration offset, so advance those directly. Pending delayed
+		// credits stay queued — the next non-quiescent cycle's drainCredits
+		// applies everything due before any allocation reads the counters.
+		f.WH.SkipCycles(1, now)
+		f.PCS.SkipTo(now)
+		return
+	}
 	if f.pool == nil {
 		f.WH.Cycle(now)
 		f.PCS.Cycle(now)
@@ -297,6 +319,29 @@ func (f *Fabric) Cycle(now int64) {
 	})
 	f.WH.CommitCycle(now)
 	f.PCS.CommitCycle(now)
+}
+
+// Quiescent reports whether both engines are at rest: no wormhole message
+// holds any resource and the PCS engine carries no control traffic. A
+// quiescent fabric's Cycle can only do work through scheduled events
+// (NextEventAt) or external injections; everything in between is dead time
+// that SkipCycles may jump. Always false in DisableActivityTracking oracle
+// mode so cross-checks run every cycle for real.
+func (f *Fabric) Quiescent() bool {
+	return f.fastForward && f.WH.InFlight() == 0 && f.PCS.Idle()
+}
+
+// NextEventAt returns the cycle of the earliest scheduled fabric event
+// (circuit delivery or window ack), or ok=false when none is pending.
+func (f *Fabric) NextEventAt() (int64, bool) { return f.events.NextAt() }
+
+// SkipCycles fast-forwards the fabric over n quiescent cycles ending at cycle
+// lastNow (i.e. the cycles lastNow-n+1 .. lastNow never run). The caller must
+// have observed Quiescent() and must not skip past the next scheduled event.
+func (f *Fabric) SkipCycles(n int64, lastNow int64) {
+	f.now = lastNow
+	f.WH.SkipCycles(n, lastNow)
+	f.PCS.SkipTo(lastNow)
 }
 
 // schedule queues fn to run at cycle `at` (at must be > now) on the shard of

@@ -109,6 +109,27 @@ func (s *ShardedEvents) Schedule(shard int, at int64, fn func(now int64)) {
 	s.size++
 }
 
+// NextAt returns the cycle of the earliest pending event across all shards,
+// or ok=false when the store is empty. The fabric's quiescence fast-forward
+// uses it to bound how far the clock may jump.
+func (s *ShardedEvents) NextAt() (int64, bool) {
+	if s.size == 0 {
+		return 0, false
+	}
+	var min int64
+	found := false
+	for i := range s.shards {
+		if len(s.shards[i]) == 0 {
+			continue
+		}
+		if at := s.shards[i][0].At; !found || at < min {
+			min = at
+			found = true
+		}
+	}
+	return min, found
+}
+
 // PopDue removes and returns every event with At <= now, ordered by
 // (At, Seq). The returned slice is reused by the next call; callers must not
 // retain it. Events scheduled while iterating the result land in the shard

@@ -525,10 +525,29 @@ func (e *Engine) Cycle(now int64) {
 	e.stepProbes()
 }
 
+// Idle reports whether the engine holds no in-flight work at all: no probes
+// searching, no acks, teardowns or release flits travelling. An idle engine's
+// Cycle is a pure no-op (every step function returns immediately), which is
+// what lets the fabric fast-forward over quiescent gaps.
+func (e *Engine) Idle() bool {
+	return len(e.probes) == 0 && len(e.acks) == 0 &&
+		len(e.teardowns) == 0 && len(e.releases) == 0
+}
+
+// SkipTo advances the engine's clock over skipped quiescent cycles without
+// running them. The clock feeds probe setup-latency accounting (LaunchProbe
+// records e.now): host callbacks that run between the skip and the next Cycle
+// — e.g. an injection event launching a probe — must observe the same clock
+// they would have under cycle-by-cycle execution.
+func (e *Engine) SkipTo(now int64) { e.now = now }
+
 // ---------------------------------------------------------------------------
 // Teardown flits.
 
 func (e *Engine) stepTeardowns() {
+	if len(e.teardowns) == 0 {
+		return
+	}
 	// Snapshot-and-reset: done callbacks may start new teardowns (e.g. a
 	// CircuitFreed handler evicting another victim); those must not be lost
 	// to in-place compaction, nor run this same cycle. The swap with the
@@ -592,6 +611,9 @@ func (e *Engine) sendRelease(ch Channel) {
 }
 
 func (e *Engine) stepReleases() {
+	if len(e.releases) == 0 {
+		return
+	}
 	work := e.releases
 	e.releases = e.relSpill[:0]
 	n := 0
@@ -624,6 +646,9 @@ func (e *Engine) stepReleases() {
 // Acknowledgment flits.
 
 func (e *Engine) stepAcks() {
+	if len(e.acks) == 0 {
+		return
+	}
 	work := e.acks
 	e.acks = e.ackSpill[:0]
 	n := 0
@@ -677,6 +702,9 @@ func (e *Engine) stepAcks() {
 // Probes.
 
 func (e *Engine) stepProbes() {
+	if len(e.probes) == 0 {
+		return
+	}
 	// Snapshot-and-reset: a failure callback typically launches the next
 	// attempt (next wave switch) immediately; the fresh probe must survive
 	// this compaction and start on the next cycle.

@@ -1,0 +1,64 @@
+package routing
+
+import (
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// Routing tables are pure functions of (topology shape, routing algorithm,
+// VC count): two fabrics built over identically shaped topologies — the same
+// kind and dimensions, hence the same deterministic node and LinkID numbering
+// — and the same routing function produce byte-identical arenas. Parameter
+// sweeps and back-to-back server jobs build dozens of such fabrics, and
+// rebuilding the table (Nodes^2 oracle invocations) dominated fabric
+// construction time. The cache below memoizes BuildTable on that shape key; a
+// TableFunc is immutable after construction and already safe for concurrent
+// Candidates calls, so sharing one instance across fabrics is free.
+
+// tableKey identifies a table up to arena equality. Topology.Name() encodes
+// the kind and every dimension ("8-ary 2-cube (torus)", "4x6 mesh",
+// "5-dimensional hypercube"); Nodes guards against any two shapes that could
+// ever share a name; the function name and VC count pin the generator.
+type tableKey struct {
+	topoName string
+	nodes    int
+	fnName   string
+	numVCs   int
+}
+
+// tableCacheMax bounds the cache. A sweep touches a handful of shapes; the
+// bound only matters for pathological callers cycling through hundreds of
+// distinct topologies, where memoization is hopeless anyway — then the cache
+// resets rather than growing without limit.
+const tableCacheMax = 16
+
+var (
+	tableCacheMu sync.Mutex
+	tableCache   = make(map[tableKey]*TableFunc)
+)
+
+// WithTableCached is WithTable with memoization: identically shaped requests
+// share one frozen table arena. Safe for concurrent callers.
+func WithTableCached(fn Func, topo topology.Topology, maxNodes int) Func {
+	if topo.Nodes() > maxNodes {
+		return fn
+	}
+	key := tableKey{
+		topoName: topo.Name(),
+		nodes:    topo.Nodes(),
+		fnName:   fn.Name(),
+		numVCs:   fn.NumVCs(),
+	}
+	tableCacheMu.Lock()
+	defer tableCacheMu.Unlock()
+	if t, ok := tableCache[key]; ok {
+		return t
+	}
+	t := BuildTable(fn, topo)
+	if len(tableCache) >= tableCacheMax {
+		clear(tableCache)
+	}
+	tableCache[key] = t
+	return t
+}

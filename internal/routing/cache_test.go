@@ -1,0 +1,110 @@
+package routing
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func cachedTable(t *testing.T, name string, radix []int, torus bool, vcs int) Func {
+	t.Helper()
+	topo := topology.MustCube(radix, torus)
+	fn, err := New(name, topo, vcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return WithTableCached(fn, topo, DefaultTableMaxNodes)
+}
+
+// TestTableCacheSharesIdenticalShapes checks the memoization contract: two
+// fabrics over identically shaped topologies share one frozen table, while
+// any difference in shape, routing function or VC count gets its own.
+func TestTableCacheSharesIdenticalShapes(t *testing.T) {
+	tableCacheMu.Lock()
+	clear(tableCache)
+	tableCacheMu.Unlock()
+
+	a := cachedTable(t, "dor", []int{4, 4}, true, 2)
+	b := cachedTable(t, "dor", []int{4, 4}, true, 2)
+	if a != b {
+		t.Error("identical (topology, fn, VCs) did not share a table")
+	}
+	if c := cachedTable(t, "dor", []int{4, 4}, false, 2); c == a {
+		t.Error("mesh and torus of the same radix shared a table")
+	}
+	if c := cachedTable(t, "duato", []int{4, 4}, true, 3); c == a {
+		t.Error("different routing functions shared a table")
+	}
+	if c := cachedTable(t, "dor", []int{2, 8}, true, 2); c == a {
+		t.Error("different dimensions shared a table")
+	}
+}
+
+// TestTableCacheMatchesUncached verifies a cache hit returns a table whose
+// candidate sequences are identical to a freshly built one.
+func TestTableCacheMatchesUncached(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	fn, err := New("duato", topo, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := BuildTable(fn, topo)
+	cached := WithTableCached(fn, topo, DefaultTableMaxNodes).(*TableFunc)
+	nodes := topo.Nodes()
+	for here := 0; here < nodes; here++ {
+		for dst := 0; dst < nodes; dst++ {
+			if here == dst {
+				continue
+			}
+			a := fresh.View(topology.Node(here), topology.Node(dst))
+			b := cached.View(topology.Node(here), topology.Node(dst))
+			if len(a) != len(b) {
+				t.Fatalf("(%d,%d): candidate count %d != %d", here, dst, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("(%d,%d): candidate %d: %+v != %+v", here, dst, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTableCacheConcurrent hammers the cache from many goroutines (as
+// concurrent waved jobs do); run under -race this proves the locking.
+func TestTableCacheConcurrent(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	fn, err := New("dor", topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				got := WithTableCached(fn, topo, DefaultTableMaxNodes)
+				if got == nil {
+					t.Error("nil table")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestTableCacheRespectsSizeGate checks topologies above maxNodes bypass the
+// cache and the table entirely, exactly like WithTable.
+func TestTableCacheRespectsSizeGate(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	fn, err := New("dor", topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := WithTableCached(fn, topo, 8); got != fn {
+		t.Error("oversized topology did not bypass the table cache")
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestWatchdogAdvanceMatchesCheck is the correctness contract of the O(1)
+// gap replay: for every combination of limits, prior stall run, pending
+// progress flag, starting age and gap length, Advance must return the same
+// error (field for field) and leave the same internal state as the
+// cycle-by-cycle Check sequence it summarises.
+func TestWatchdogAdvanceMatchesCheck(t *testing.T) {
+	type params struct {
+		maxAge, stallWindow int64
+		stallRun            int64
+		progressed          bool
+		oldestAge           int64
+		inFlight            int
+		cycles              int64
+	}
+	var cases []params
+	for _, maxAge := range []int64{0, 5, 50} {
+		for _, window := range []int64{0, 3, 10} {
+			for _, run := range []int64{0, 1, 2, 9} {
+				for _, prog := range []bool{false, true} {
+					for _, age := range []int64{0, 1, 4, 5, 6, 49, 60} {
+						for _, fl := range []int{0, 2} {
+							for _, n := range []int64{1, 2, 3, 7, 100} {
+								cases = append(cases, params{maxAge, window, run, prog, age, fl, n})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	const now = int64(1000)
+	for _, tc := range cases {
+		ref := Watchdog{MaxAge: tc.maxAge, StallWindow: tc.stallWindow,
+			stallRun: tc.stallRun, progressed: tc.progressed}
+		var refErr error
+		for i := int64(0); i < tc.cycles; i++ {
+			refErr = ref.Check(now+i, tc.oldestAge+i, tc.inFlight)
+			if refErr != nil {
+				break
+			}
+		}
+
+		got := Watchdog{MaxAge: tc.maxAge, StallWindow: tc.stallWindow,
+			stallRun: tc.stallRun, progressed: tc.progressed}
+		gotErr := got.Advance(now, tc.cycles, tc.oldestAge, tc.inFlight)
+
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("%+v: error mismatch: check=%v advance=%v", tc, refErr, gotErr)
+		}
+		if refErr != nil {
+			var rs, gs *ErrStuck
+			if !errors.As(refErr, &rs) || !errors.As(gotErr, &gs) {
+				t.Fatalf("%+v: non-ErrStuck error", tc)
+			}
+			if *rs != *gs {
+				t.Fatalf("%+v: ErrStuck mismatch:\n check:   %+v\n advance: %+v", tc, *rs, *gs)
+			}
+		}
+		if got.stallRun != ref.stallRun || got.progressed != ref.progressed {
+			t.Fatalf("%+v: state mismatch after replay: check={run:%d prog:%v} advance={run:%d prog:%v}",
+				tc, ref.stallRun, ref.progressed, got.stallRun, got.progressed)
+		}
+	}
+}

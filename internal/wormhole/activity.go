@@ -1,0 +1,118 @@
+package wormhole
+
+// This file implements the activity-driven cycle engine: per-cycle work
+// proportional to the number of ports that can possibly act, not to the size
+// of the network.
+//
+// The active set is a membership bitmap over the global input-port space
+// (link VCs followed by injection ports, the same index space allocate and
+// switchAndTraverse walk). Its invariant is simple and conservative:
+//
+//	port active  ⇔  port phase != vcIdle
+//
+// An idle port has zero side effects in every per-port function — an idle
+// linkVC fails the phase guards of allocateLinkVC and traverseLinkVC, an
+// idle injection port has an empty queue — so restricting the rotating scan
+// to the active set visits exactly the subsequence of ports the full scan
+// would have dismissed without touching shared state, in the same order.
+// That makes the active-set engine bit-identical to the full scan, which is
+// kept behind Params.DisableActivityTracking as the cross-check oracle.
+//
+// Membership changes only at phase transitions, which happen on a handful of
+// events: injection into an empty source queue, a flit arriving at an idle
+// VC, a tail flit draining a port, and recovery re-injects/aborts. Each
+// transition site calls activate/deactivate; both are idempotent, O(1) and
+// allocation-free (the bitmap is sized once at construction).
+//
+// The switch-allocation busy flags get the same treatment: instead of
+// clearing every outLinkBusy/inPortBusy entry each cycle — O(links+nodes) —
+// the mark helpers record which entries were set and the next cycle clears
+// only those. The flags are written and read only inside one traversal pass,
+// so deferred clearing is invisible to the engine's decisions.
+
+// activate inserts port into the active set (no-op if present or if activity
+// tracking is disabled).
+func (e *Engine) activate(port int) {
+	if !e.trackActivity {
+		return
+	}
+	w, b := port>>6, uint64(1)<<uint(port&63)
+	if e.active[w]&b == 0 {
+		e.active[w] |= b
+		e.activeCount++
+	}
+}
+
+// deactivate removes port from the active set (no-op if absent or if
+// activity tracking is disabled).
+func (e *Engine) deactivate(port int) {
+	if !e.trackActivity {
+		return
+	}
+	w, b := port>>6, uint64(1)<<uint(port&63)
+	if e.active[w]&b != 0 {
+		e.active[w] &^= b
+		e.activeCount--
+	}
+}
+
+// ActivePorts returns the current size of the active set — the input ports
+// (link VCs plus injection ports) that are not idle. It is 0 when activity
+// tracking is disabled; NumPorts is the total.
+func (e *Engine) ActivePorts() int { return e.activeCount }
+
+// markOutBusy claims output physical link l for this cycle's traversal pass.
+func (e *Engine) markOutBusy(l int) {
+	e.outLinkBusy[l] = true
+	if e.trackActivity {
+		e.dirtyOutLinks = append(e.dirtyOutLinks, int32(l))
+	}
+}
+
+// markInBusy claims physical input port idx for this cycle's traversal pass.
+func (e *Engine) markInBusy(idx int) {
+	e.inPortBusy[idx] = true
+	if e.trackActivity {
+		e.dirtyInPorts = append(e.dirtyInPorts, int32(idx))
+	}
+}
+
+// clearBusy resets the switch-allocation flags at the start of a traversal
+// pass: only the entries dirtied last cycle when tracking, the full arrays
+// in oracle mode. Both helpers above set a flag only after observing it
+// false, so the dirty lists carry no duplicates and stay bounded by the
+// flits moved per cycle.
+func (e *Engine) clearBusy() {
+	if !e.trackActivity {
+		for i := range e.outLinkBusy {
+			e.outLinkBusy[i] = false
+		}
+		for i := range e.inPortBusy {
+			e.inPortBusy[i] = false
+		}
+		return
+	}
+	for _, l := range e.dirtyOutLinks {
+		e.outLinkBusy[l] = false
+	}
+	e.dirtyOutLinks = e.dirtyOutLinks[:0]
+	for _, p := range e.dirtyInPorts {
+		e.inPortBusy[p] = false
+	}
+	e.dirtyInPorts = e.dirtyInPorts[:0]
+}
+
+// SkipCycles fast-forwards the engine over n quiescent cycles ending at
+// cycle lastNow. The caller must guarantee InFlight() == 0 for the whole
+// gap: with no live messages every port guard fails, arrivals are empty and
+// recovery has nothing parked, so a real Cycle would change nothing except
+// the rotating arbitration offset — which a skipped cycle must still
+// advance, or the first post-gap cycle would arbitrate differently from the
+// cycle-by-cycle engine. Pending delayed credits (CreditDelay > 0) are left
+// queued; the next real Cycle's drainCredits applies everything due before
+// any allocation decision reads the credit counters, so the outcome is
+// unchanged.
+func (e *Engine) SkipCycles(n int64, lastNow int64) {
+	e.rr += int(n)
+	e.now = lastNow
+}

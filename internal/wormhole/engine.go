@@ -54,6 +54,11 @@ type Params struct {
 	// E15 uses RouteDelay to weigh routing sophistication against per-hop
 	// latency.
 	RouteDelay int
+	// DisableActivityTracking runs the allocation and traversal passes as
+	// full scans over every input port instead of iterating the active set
+	// (see activity.go). Results are bit-identical either way; the full scan
+	// is the cross-check oracle for the active-set bookkeeping.
+	DisableActivityTracking bool
 }
 
 // DefaultParams returns the configuration used throughout the paper-shaped
@@ -253,6 +258,16 @@ type Engine struct {
 	// par holds the parallel-cycle scratch (nil in serial mode).
 	par *parState
 
+	// Active-set state (see activity.go): the membership bitmap over the
+	// global input-port space, its population count, and the dirty lists
+	// that replace the full busy-flag clears. trackActivity caches
+	// !prm.DisableActivityTracking.
+	trackActivity bool
+	active        []uint64
+	activeCount   int
+	dirtyOutLinks []int32
+	dirtyInPorts  []int32
+
 	// Scratch reused across cycles.
 	cands        []routing.Candidate
 	outLinkBusy  []bool
@@ -284,6 +299,8 @@ func New(topo topology.Topology, fn routing.Func, prm Params, hooks Hooks) (*Eng
 		inPortBusy:  make([]bool, topo.NumLinkSlots()+topo.Nodes()),
 		LinkFlits:   make([]int64, topo.NumLinkSlots()),
 	}
+	e.trackActivity = !prm.DisableActivityTracking
+	e.active = make([]uint64, (e.NumPorts()+63)/64)
 	for i := range e.in {
 		e.in[i].buf = buffer.NewFIFO(prm.BufDepth)
 		e.in[i].outLink = topology.Invalid
@@ -340,6 +357,7 @@ func (e *Engine) Inject(m flit.Message) {
 	if p.phase == vcIdle {
 		p.phase = vcRouting
 		p.rcWait = e.prm.RouteDelay
+		e.activate(int(e.injInput(topology.Node(m.Src))))
 	}
 }
 
@@ -400,16 +418,27 @@ func (e *Engine) drainCredits(now int64) {
 
 // allocate runs route computation + VC allocation for every input holding a
 // header. Ports are visited in rotating order; allocation is greedy and
-// sequential, which is deterministic and fair over time.
+// sequential, which is deterministic and fair over time. With activity
+// tracking the scan iterates only the active set — the same rotating order
+// with the idle ports (which the full scan would dismiss without side
+// effects) skipped.
 func (e *Engine) allocate(now int64) {
 	total := e.numLinkInputs() + len(e.inj)
+	if e.trackActivity {
+		forEachSet(e.active, total, e.rr%total, e.allocatePort)
+		return
+	}
 	for i := 0; i < total; i++ {
-		port := (i + e.rr) % total
-		if port < e.numLinkInputs() {
-			e.allocateLinkVC(int32(port))
-		} else {
-			e.allocateInjection(topology.Node(port - e.numLinkInputs()))
-		}
+		e.allocatePort((i + e.rr) % total)
+	}
+}
+
+// allocatePort dispatches one port of the allocation pass.
+func (e *Engine) allocatePort(port int) {
+	if port < e.numLinkInputs() {
+		e.allocateLinkVC(int32(port))
+	} else {
+		e.allocateInjection(topology.Node(port - e.numLinkInputs()))
 	}
 }
 
@@ -490,24 +519,31 @@ func (e *Engine) allocateInjection(n topology.Node) {
 // flit crosses each output physical link and leaves each input port per
 // cycle, subject to downstream credits.
 func (e *Engine) switchAndTraverse(now int64) {
-	for i := range e.outLinkBusy {
-		e.outLinkBusy[i] = false
-	}
-	for i := range e.inPortBusy {
-		e.inPortBusy[i] = false
-	}
+	e.clearBusy()
 	e.arrivalsCh = e.arrivalsCh[:0]
 	e.arrivalsFlit = e.arrivalsFlit[:0]
 	e.arrivalsSlot = e.arrivalsSlot[:0]
 
 	total := e.numLinkInputs() + len(e.inj)
+	if e.trackActivity {
+		// Traversal can deactivate only the port it is visiting (a tail flit
+		// leaving resets that port alone), and forEachSet has already loaded
+		// that port's bitmap word, so mutating the active set mid-scan is
+		// safe: no other port's membership changes under the iteration.
+		forEachSet(e.active, total, e.rr%total, func(port int) { e.traversePort(port, now) })
+		return
+	}
 	for i := 0; i < total; i++ {
-		port := (i + e.rr) % total
-		if port < e.numLinkInputs() {
-			e.traverseLinkVC(int32(port), now)
-		} else {
-			e.traverseInjection(topology.Node(port-e.numLinkInputs()), now)
-		}
+		e.traversePort((i+e.rr)%total, now)
+	}
+}
+
+// traversePort dispatches one port of the traversal pass.
+func (e *Engine) traversePort(port int, now int64) {
+	if port < e.numLinkInputs() {
+		e.traverseLinkVC(int32(port), now)
+	} else {
+		e.traverseInjection(topology.Node(port-e.numLinkInputs()), now)
 	}
 }
 
@@ -526,8 +562,8 @@ func (e *Engine) sendFlit(port int32, fl flit.Flit, slot int32, outLink topology
 		return false
 	}
 	e.credits[idx]--
-	e.outLinkBusy[outLink] = true
-	e.inPortBusy[e.inPortIndex(port)] = true
+	e.markOutBusy(int(outLink))
+	e.markInBusy(e.inPortIndex(port))
 	e.arrivalsCh = append(e.arrivalsCh, int32(idx))
 	e.arrivalsFlit = append(e.arrivalsFlit, fl)
 	e.arrivalsSlot = append(e.arrivalsSlot, slot)
@@ -563,20 +599,20 @@ func (e *Engine) traverseLinkVC(port int32, now int64) {
 		// Local delivery consumes one flit per input port per cycle.
 		v.buf.Pop()
 		e.returnCredit(port, now)
-		e.inPortBusy[e.inPortIndex(port)] = true
+		e.markInBusy(e.inPortIndex(port))
 		e.deliverFlit(fl, v.curSlot, now)
-		e.afterFlitLeft(v, fl)
+		e.afterFlitLeft(port, v, fl)
 		return
 	}
 	if e.sendFlit(port, fl, v.curSlot, v.outLink, v.outVC) {
 		v.buf.Pop()
 		e.returnCredit(port, now)
-		e.afterFlitLeft(v, fl)
+		e.afterFlitLeft(port, v, fl)
 	}
 }
 
-// afterFlitLeft updates VC bookkeeping once a flit has left an input VC.
-func (e *Engine) afterFlitLeft(v *linkVC, fl flit.Flit) {
+// afterFlitLeft updates VC bookkeeping once a flit has left input VC `port`.
+func (e *Engine) afterFlitLeft(port int32, v *linkVC, fl flit.Flit) {
 	if !fl.Kind.IsTail() {
 		return
 	}
@@ -589,6 +625,7 @@ func (e *Engine) afterFlitLeft(v *linkVC, fl flit.Flit) {
 	v.curSlot = noSlot
 	if v.buf.Empty() {
 		v.phase = vcIdle
+		e.deactivate(int(port))
 	} else {
 		v.phase = vcRouting // next message's header is already queued
 		v.rcWait = e.prm.RouteDelay
@@ -609,23 +646,23 @@ func (e *Engine) traverseInjection(n topology.Node, now int64) {
 		if e.inPortBusy[e.inPortIndex(port)] {
 			return
 		}
-		e.inPortBusy[e.inPortIndex(port)] = true
+		e.markInBusy(e.inPortIndex(port))
 		p.sent++
 		e.deliverFlit(fl, slot, now)
 		if e.hooks.Progress != nil {
 			e.hooks.Progress()
 		}
 		e.FlitsMoved++
-		e.afterInjectionFlit(p, fl)
+		e.afterInjectionFlit(port, p, fl)
 		return
 	}
 	if e.sendFlit(port, fl, slot, p.outLink, p.outVC) {
 		p.sent++
-		e.afterInjectionFlit(p, fl)
+		e.afterInjectionFlit(port, p, fl)
 	}
 }
 
-func (e *Engine) afterInjectionFlit(p *injPort, fl flit.Flit) {
+func (e *Engine) afterInjectionFlit(port int32, p *injPort, fl flit.Flit) {
 	if !fl.Kind.IsTail() {
 		return
 	}
@@ -638,6 +675,7 @@ func (e *Engine) afterInjectionFlit(p *injPort, fl flit.Flit) {
 	p.outVC = 0
 	if p.qlen() == 0 {
 		p.phase = vcIdle
+		e.deactivate(int(port))
 	} else {
 		p.phase = vcRouting
 		p.rcWait = e.prm.RouteDelay
@@ -682,6 +720,7 @@ func (e *Engine) commitArrivals() {
 		if e.in[ch].phase == vcIdle {
 			e.in[ch].phase = vcRouting
 			e.in[ch].rcWait = e.prm.RouteDelay
+			e.activate(int(ch))
 		}
 	}
 }

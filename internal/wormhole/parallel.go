@@ -94,71 +94,82 @@ func setBit(bits []uint64, i int) { bits[i>>6] |= 1 << uint(i&63) }
 // PrepareRange scans ports [lo, hi) on behalf of `worker`. It mutates only
 // per-port state no other port reads (rcWait, the port's candidate scratch)
 // and the worker's own bitmaps; everything else is read-only, so ranges run
-// concurrently.
+// concurrently. With activity tracking the range walk narrows to the active
+// set — membership only changes in the serial prologue and commit, so the
+// bitmap is read-only during the fan-out.
 func (e *Engine) PrepareRange(worker, lo, hi int) {
+	if e.trackActivity {
+		scanSet(e.active, lo, hi, func(port int) { e.preparePort(worker, port) })
+		return
+	}
+	for port := lo; port < hi; port++ {
+		e.preparePort(worker, port)
+	}
+}
+
+// preparePort runs the compute phase for one port.
+func (e *Engine) preparePort(worker, port int) {
 	p := e.par
 	nLink := e.numLinkInputs()
-	for port := lo; port < hi; port++ {
-		if port < nLink {
-			v := &e.in[port]
-			switch v.phase {
-			case vcRouting:
-				head, ok := v.buf.Front()
-				if !ok {
-					continue
-				}
-				if !head.Kind.IsHead() {
-					panic(fmt.Sprintf("wormhole: routing phase with non-head flit %v at front", head.Kind))
-				}
-				if v.rcWait > 0 {
-					v.rcWait--
-					continue
-				}
-				link := topology.LinkID(port / e.prm.NumVCs)
-				l, okL := e.topo.LinkByID(link)
-				if !okL {
-					panic("wormhole: flit on non-existent link")
-				}
-				if int(l.To) == head.Dst {
-					setBit(p.allocW[worker], port)
-					continue
-				}
-				c := e.fn.Candidates(l.To, topology.Node(head.Dst), link, port%e.prm.NumVCs, p.cands[port][:0])
-				p.cands[port] = c
-				if len(c) > 0 {
-					setBit(p.allocW[worker], port)
-				}
-			case vcActive:
-				if !v.buf.Empty() {
-					setBit(p.moveW[worker], port)
-				}
+	if port < nLink {
+		v := &e.in[port]
+		switch v.phase {
+		case vcRouting:
+			head, ok := v.buf.Front()
+			if !ok {
+				return
 			}
-		} else {
-			n := topology.Node(port - nLink)
-			ip := &e.inj[n]
-			if ip.qlen() == 0 {
-				continue
+			if !head.Kind.IsHead() {
+				panic(fmt.Sprintf("wormhole: routing phase with non-head flit %v at front", head.Kind))
 			}
-			switch ip.phase {
-			case vcRouting:
-				if ip.rcWait > 0 {
-					ip.rcWait--
-					continue
-				}
-				m := e.slots[ip.front()].msg
-				if m.Dst == int(n) {
-					setBit(p.allocW[worker], port)
-					continue
-				}
-				c := e.fn.Candidates(n, topology.Node(m.Dst), topology.Invalid, 0, p.cands[port][:0])
-				p.cands[port] = c
-				if len(c) > 0 {
-					setBit(p.allocW[worker], port)
-				}
-			case vcActive:
+			if v.rcWait > 0 {
+				v.rcWait--
+				return
+			}
+			link := topology.LinkID(port / e.prm.NumVCs)
+			l, okL := e.topo.LinkByID(link)
+			if !okL {
+				panic("wormhole: flit on non-existent link")
+			}
+			if int(l.To) == head.Dst {
+				setBit(p.allocW[worker], port)
+				return
+			}
+			c := e.fn.Candidates(l.To, topology.Node(head.Dst), link, port%e.prm.NumVCs, p.cands[port][:0])
+			p.cands[port] = c
+			if len(c) > 0 {
+				setBit(p.allocW[worker], port)
+			}
+		case vcActive:
+			if !v.buf.Empty() {
 				setBit(p.moveW[worker], port)
 			}
 		}
+		return
+	}
+	n := topology.Node(port - nLink)
+	ip := &e.inj[n]
+	if ip.qlen() == 0 {
+		return
+	}
+	switch ip.phase {
+	case vcRouting:
+		if ip.rcWait > 0 {
+			ip.rcWait--
+			return
+		}
+		m := e.slots[ip.front()].msg
+		if m.Dst == int(n) {
+			setBit(p.allocW[worker], port)
+			return
+		}
+		c := e.fn.Candidates(n, topology.Node(m.Dst), topology.Invalid, 0, p.cands[port][:0])
+		p.cands[port] = c
+		if len(c) > 0 {
+			setBit(p.allocW[worker], port)
+		}
+	case vcActive:
+		setBit(p.moveW[worker], port)
 	}
 }
 
@@ -234,22 +245,11 @@ func (e *Engine) CommitCycle(now int64) {
 	start := e.rr % total
 	forEachSet(p.alloc, total, start, e.commitAlloc)
 
-	for i := range e.outLinkBusy {
-		e.outLinkBusy[i] = false
-	}
-	for i := range e.inPortBusy {
-		e.inPortBusy[i] = false
-	}
+	e.clearBusy()
 	e.arrivalsCh = e.arrivalsCh[:0]
 	e.arrivalsFlit = e.arrivalsFlit[:0]
 	e.arrivalsSlot = e.arrivalsSlot[:0]
-	forEachSet(p.move, total, start, func(port int) {
-		if port < e.numLinkInputs() {
-			e.traverseLinkVC(int32(port), now)
-		} else {
-			e.traverseInjection(topology.Node(port-e.numLinkInputs()), now)
-		}
-	})
+	forEachSet(p.move, total, start, func(port int) { e.traversePort(port, now) })
 
 	e.commitArrivals()
 	e.rr++

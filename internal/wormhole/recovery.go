@@ -95,6 +95,7 @@ func (e *Engine) stepRecovery(now int64) {
 			if port.phase == vcIdle {
 				port.phase = vcRouting
 				port.rcWait = e.prm.RouteDelay
+				e.activate(int(e.injInput(topology.Node(sl.msg.Src))))
 			}
 			sl.lastProgress = now
 			sl.hasProgress = true
@@ -170,6 +171,7 @@ func (e *Engine) abort(s int32, now int64) {
 			v.curSlot = noSlot
 			if v.buf.Empty() {
 				v.phase = vcIdle
+				e.deactivate(ch)
 			} else {
 				v.phase = vcRouting
 				v.rcWait = e.prm.RouteDelay
@@ -197,6 +199,7 @@ func (e *Engine) abort(s int32, now int64) {
 			p.queue = p.queue[:0]
 			p.head = 0
 			p.phase = vcIdle
+			e.deactivate(int(e.injInput(topology.Node(m.Src))))
 		} else if atFront {
 			p.phase = vcRouting
 			p.rcWait = e.prm.RouteDelay

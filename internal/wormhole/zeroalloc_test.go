@@ -63,9 +63,14 @@ func TestZeroAllocWormholeCycle(t *testing.T) {
 		name string
 		prm  Params
 	}{
+		// The default cases run the active-set engine: every pump-and-drain
+		// round churns the whole membership bitmap (64 injection activations,
+		// per-hop VC activations/deactivations) and the busy dirty lists, so
+		// zero allocs here proves the active-set maintenance itself is free.
 		{"default", DefaultParams()},
 		{"creditDelay", Params{NumVCs: 2, BufDepth: 4, CreditDelay: 2}},
 		{"routeDelay", Params{NumVCs: 2, BufDepth: 4, RouteDelay: 1}},
+		{"fullScanOracle", Params{NumVCs: 2, BufDepth: 4, DisableActivityTracking: true}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			eng, delivered := zeroAllocEngine(t, tc.prm)
@@ -83,6 +88,29 @@ func TestZeroAllocWormholeCycle(t *testing.T) {
 				t.Fatal("no messages delivered")
 			}
 		})
+	}
+}
+
+// TestActiveSetTracksPhases checks the active-set invariant directly: the
+// set is empty at rest, non-empty while messages are in flight, and empty
+// again once the network drains — across repeated rounds, so stale
+// memberships (which would silently degrade the speedup) cannot survive.
+func TestActiveSetTracksPhases(t *testing.T) {
+	eng, _ := zeroAllocEngine(t, DefaultParams())
+	var now int64
+	var nextID flit.MsgID
+	if got := eng.ActivePorts(); got != 0 {
+		t.Fatalf("fresh engine has %d active ports, want 0", got)
+	}
+	for round := 0; round < 3; round++ {
+		pumpDrain(t, eng, &now, &nextID)
+		if got := eng.ActivePorts(); got != 0 {
+			t.Fatalf("round %d: drained engine has %d active ports, want 0", round, got)
+		}
+	}
+	eng.Inject(flit.Message{ID: nextID + 1, Src: 0, Dst: 9, Len: 4, InjectTime: now})
+	if got := eng.ActivePorts(); got != 1 {
+		t.Fatalf("after one injection: %d active ports, want 1", got)
 	}
 }
 
@@ -114,5 +142,34 @@ func BenchmarkWormholeCycle(b *testing.B) {
 		}
 		eng.Cycle(now)
 		now++
+	}
+}
+
+// BenchmarkWormholeIdleCycle measures one cycle of a completely idle engine —
+// the cost model the activity-driven design targets: active-set iteration
+// makes it O(1) regardless of network size, where the full-scan oracle
+// (the /fullScan variant) pays O(ports) every cycle.
+func BenchmarkWormholeIdleCycle(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		prm  Params
+	}{
+		{"activeSet", DefaultParams()},
+		{"fullScan", Params{NumVCs: 2, BufDepth: 4, DisableActivityTracking: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			eng, _ := zeroAllocEngine(b, tc.prm)
+			var now int64
+			var nextID flit.MsgID
+			// One drained round leaves every ring at steady capacity and the
+			// active set empty.
+			pumpDrain(b, eng, &now, &nextID)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Cycle(now)
+				now++
+			}
+		})
 	}
 }

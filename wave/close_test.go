@@ -1,0 +1,54 @@
+package wave
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestCloseReleasesPoolGoroutines pins the ownership contract that replaced
+// the old runtime.SetFinalizer safety net: every parallel simulator owns a
+// worker-pool of goroutines, and Close — now the only release path — must
+// return the process to its baseline goroutine count. A leak here would
+// accumulate across sweep points and server jobs forever.
+func TestCloseReleasesPoolGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	sims := make([]*Simulator, 0, 4)
+	for i := 0; i < 4; i++ {
+		cfg := DefaultConfig()
+		cfg.Topology = TopologyConfig{Kind: "torus", Radix: []int{4, 4}}
+		cfg.Workers = 4
+		cfg.Seed = uint64(i + 1)
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.RunLoad(Workload{Pattern: "uniform", Load: 0.1, FixedLength: 8}, 50, 200); err != nil {
+			t.Fatal(err)
+		}
+		sims = append(sims, s)
+	}
+	if n := runtime.NumGoroutine(); n <= baseline {
+		t.Fatalf("expected pool goroutines while simulators live: baseline %d, now %d", baseline, n)
+	}
+	for _, s := range sims {
+		s.Close()
+		s.Close() // Close must be idempotent
+	}
+
+	// Pool goroutines exit asynchronously after Close; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 64<<10)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after Close: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

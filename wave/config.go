@@ -118,6 +118,14 @@ type Config struct {
 	// hosts where the Nodes^2 table is unwelcome.
 	DisableRoutingTable bool
 
+	// DisableActivityTracking runs every cycle as a full scan over all ports
+	// and disables the quiescence fast-forward, making per-cycle cost
+	// O(network) regardless of offered load. Results are bit-identical either
+	// way; the full-scan engine is the cross-check oracle for the
+	// activity-driven engine (see internal/wormhole/activity.go and
+	// TestActiveSetMatchesFullScan).
+	DisableActivityTracking bool
+
 	// Seed drives all randomness; equal seeds give bit-identical runs.
 	Seed uint64
 
@@ -160,22 +168,23 @@ func DefaultConfig() Config {
 // coreParams lowers the public config to the fabric parameters.
 func (c Config) coreParams() core.Params {
 	return core.Params{
-		NumVCs:              c.NumVCs,
-		BufDepth:            c.BufDepth,
-		CreditDelay:         c.CreditDelay,
-		RouteDelay:          c.RouteDelay,
-		RecoveryTimeout:     c.RecoveryTimeout,
-		Routing:             c.Routing,
-		NumSwitches:         c.NumSwitches,
-		MaxMisroutes:        c.MaxMisroutes,
-		WaveClockMult:       c.WaveClockMult,
-		CacheCapacity:       c.CacheCapacity,
-		ReplacePolicy:       c.ReplacePolicy,
-		WindowFlits:         c.WindowFlits,
-		InitialBufFlits:     c.InitialBufFlits,
-		ReallocPenalty:      c.ReallocPenalty,
-		DisableRoutingTable: c.DisableRoutingTable,
-		Seed:                c.Seed,
-		Workers:             c.Workers,
+		NumVCs:                  c.NumVCs,
+		BufDepth:                c.BufDepth,
+		CreditDelay:             c.CreditDelay,
+		RouteDelay:              c.RouteDelay,
+		RecoveryTimeout:         c.RecoveryTimeout,
+		Routing:                 c.Routing,
+		NumSwitches:             c.NumSwitches,
+		MaxMisroutes:            c.MaxMisroutes,
+		WaveClockMult:           c.WaveClockMult,
+		CacheCapacity:           c.CacheCapacity,
+		ReplacePolicy:           c.ReplacePolicy,
+		WindowFlits:             c.WindowFlits,
+		InitialBufFlits:         c.InitialBufFlits,
+		ReallocPenalty:          c.ReallocPenalty,
+		DisableRoutingTable:     c.DisableRoutingTable,
+		DisableActivityTracking: c.DisableActivityTracking,
+		Seed:                    c.Seed,
+		Workers:                 c.Workers,
 	}
 }

@@ -59,6 +59,63 @@ func TestParallelEngineMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestActiveSetMatchesFullScan is the correctness contract of the
+// activity-driven engine: for every protocol, across topologies, serial and
+// parallel, the active-set engine (with its quiescence fast-forward) must
+// produce Stats and Results bit-identical to the full-scan oracle
+// (DisableActivityTracking) under the same seed. Run under -race in CI.
+func TestActiveSetMatchesFullScan(t *testing.T) {
+	torus := TopologyConfig{Kind: "torus", Radix: []int{8, 8}}
+	hcube := TopologyConfig{Kind: "hypercube", Dims: 5}
+	cases := []struct {
+		name     string
+		topo     TopologyConfig
+		protocol string
+		w        Workload
+	}{
+		{"clrp-torus", torus, "clrp", Workload{Pattern: "uniform", Load: 0.15, FixedLength: 48}},
+		{"carp-torus", torus, "carp", Workload{Pattern: "transpose", Load: 0.1, FixedLength: 64, WantCircuit: true}},
+		{"wormhole-torus", torus, "wormhole", Workload{Pattern: "uniform", Load: 0.2, FixedLength: 16}},
+		{"pcs-torus", torus, "pcs", Workload{Pattern: "uniform", Load: 0.05, FixedLength: 96}},
+		{"clrp-hypercube", hcube, "clrp", Workload{Pattern: "bitreverse", Load: 0.12, FixedLength: 48}},
+		{"carp-hypercube", hcube, "carp", Workload{Pattern: "bitreverse", Load: 0.08, FixedLength: 64, WantCircuit: true}},
+		{"wormhole-hypercube", hcube, "wormhole", Workload{Pattern: "uniform", Load: 0.15, FixedLength: 16}},
+		{"pcs-hypercube", hcube, "pcs", Workload{Pattern: "uniform", Load: 0.04, FixedLength: 96}},
+	}
+	// A light second workload exercises the quiescence fast-forward harder:
+	// most cycles are dead time between sparse injections and drains.
+	light := Workload{Pattern: "uniform", Load: 0.01, FixedLength: 32}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, w := range []Workload{tc.w, light} {
+				cfg := DefaultConfig()
+				cfg.Topology = tc.topo
+				cfg.Protocol = tc.protocol
+				cfg.Seed = 12345
+				oracle := cfg
+				oracle.DisableActivityTracking = true
+				wantStats, wantRes := runForStats(t, oracle, w, 1, 500, 2000)
+				for _, workers := range []int{1, 3} {
+					gotStats, gotRes := runForStats(t, cfg, w, workers, 500, 2000)
+					if gotStats != wantStats {
+						t.Errorf("load=%g workers=%d: Stats diverged from full-scan oracle:\n oracle: %+v\n active: %+v",
+							w.Load, workers, wantStats, gotStats)
+					}
+					if gotRes != wantRes {
+						t.Errorf("load=%g workers=%d: Result diverged from full-scan oracle:\n oracle: %+v\n active: %+v",
+							w.Load, workers, wantRes, gotRes)
+					}
+					// The oracle must itself be invariant under workers.
+					oStats, oRes := runForStats(t, oracle, w, workers, 500, 2000)
+					if oStats != wantStats || oRes != wantRes {
+						t.Errorf("load=%g workers=%d: full-scan oracle not worker-invariant", w.Load, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestParallelEngineWorkerCountInvariance checks 2, 3 and 8 workers all land
 // on the serial outcome — determinism must not depend on how ranges happen to
 // be dealt to workers.
