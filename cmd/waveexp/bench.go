@@ -54,6 +54,44 @@ type lowloadReport struct {
 	StatsIdentical            bool    `json:"stats_identical"`
 }
 
+// faultedReport is the extended-E8 acceptance point: the 16x16 torus under
+// CLRP with transient mid-run wave-channel faults and the retry/backoff
+// recovery armed. Every injected message must be delivered (RunLoad drains
+// to empty or errors), and the run must stay bit-identical across worker
+// counts and against the full-scan oracle — faults, repairs and retries all
+// ride the sharded event queue.
+type faultedReport struct {
+	Pattern  string  `json:"pattern"`
+	Load     float64 `json:"load_flits_node_cycle"`
+	MsgFlits int     `json:"message_flits"`
+	Warmup   int64   `json:"warmup_cycles"`
+	Measure  int64   `json:"measure_cycles"`
+
+	FaultCount         int   `json:"fault_count"`
+	FaultStart         int64 `json:"fault_start_cycle"`
+	FaultSpacing       int64 `json:"fault_spacing_cycles"`
+	FaultRepair        int64 `json:"fault_repair_cycles"`
+	ProbeRetryLimit    int   `json:"probe_retry_limit"`
+	RetryBackoffCycles int64 `json:"retry_backoff_cycles"`
+
+	Runs []benchRun `json:"runs"`
+
+	// Recovery accounting from the serial run's final Stats.
+	FaultsInjected    int64 `json:"faults_injected"`
+	FaultRepairs      int64 `json:"fault_repairs"`
+	CircuitsTorn      int64 `json:"circuits_torn"`
+	ProbesKilled      int64 `json:"probes_killed"`
+	SetupRetries      int64 `json:"setup_retries"`
+	WormholeFallbacks int64 `json:"wormhole_fallbacks"`
+	// FallbackFraction is wormhole fallbacks over all delivered messages.
+	FallbackFraction float64 `json:"fallback_fraction"`
+
+	// StatsIdentical: serial vs parallel; FullScanIdentical: activity-tracking
+	// vs full-scan oracle.
+	StatsIdentical    bool `json:"stats_identical"`
+	FullScanIdentical bool `json:"full_scan_identical"`
+}
+
 // benchReport is the machine-readable artifact -bench-json writes; the seed
 // trajectory lives in BENCH_*.json files at the repo root.
 type benchReport struct {
@@ -80,6 +118,7 @@ type benchReport struct {
 	Note           string  `json:"note,omitempty"`
 
 	Lowload *lowloadReport `json:"lowload,omitempty"`
+	Faulted *faultedReport `json:"faulted,omitempty"`
 }
 
 // benchConfig is the E7-style 16x16 stress configuration: near-saturation
@@ -193,6 +232,60 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 		StatsIdentical:            lowActiveStats == lowScanStats,
 	}
 
+	// Extended E8 point: transient mid-run faults with retry/backoff on the
+	// same torus, checked for worker- and engine-invariance.
+	faultW := wave.Workload{Pattern: "uniform", Load: 0.05, FixedLength: 48}
+	faultCfg := cfg
+	faultCfg.Workers = 1
+	faultCfg.CacheCapacity = wave.DefaultConfig().CacheCapacity
+	faultCfg.FaultSchedule = wave.FaultScheduleConfig{
+		Count: 24, Start: warmup + measure/10, Spacing: 40, Repair: 350,
+	}
+	faultCfg.ProbeRetryLimit = 3
+	faultCfg.RetryBackoffCycles = 32
+	faultParCfg := faultCfg
+	faultParCfg.Workers = 3
+	faultScanCfg := faultCfg
+	faultScanCfg.DisableActivityTracking = true
+	faultSer, faultSerStats, err := measureOne("faulted-serial", faultCfg, faultW, warmup, measure)
+	if err != nil {
+		return err
+	}
+	faultPar, faultParStats, err := measureOne("faulted-workers3", faultParCfg, faultW, warmup, measure)
+	if err != nil {
+		return err
+	}
+	faultScan, faultScanStats, err := measureOne("faulted-fullscan", faultScanCfg, faultW, warmup, measure)
+	if err != nil {
+		return err
+	}
+	fDelivered := faultSerStats.WHMsgsDelivered + faultSerStats.CircuitMsgsDelivered
+	faulted := &faultedReport{
+		Pattern:            faultW.Pattern,
+		Load:               faultW.Load,
+		MsgFlits:           faultW.FixedLength,
+		Warmup:             warmup,
+		Measure:            measure,
+		FaultCount:         faultCfg.FaultSchedule.Count,
+		FaultStart:         faultCfg.FaultSchedule.Start,
+		FaultSpacing:       faultCfg.FaultSchedule.Spacing,
+		FaultRepair:        faultCfg.FaultSchedule.Repair,
+		ProbeRetryLimit:    faultCfg.ProbeRetryLimit,
+		RetryBackoffCycles: faultCfg.RetryBackoffCycles,
+		Runs:               []benchRun{faultSer, faultPar, faultScan},
+		FaultsInjected:     faultSerStats.Probes.FaultsInjected,
+		FaultRepairs:       faultSerStats.Probes.FaultRepairs,
+		CircuitsTorn:       faultSerStats.Probes.FaultCircuitsTorn,
+		ProbesKilled:       faultSerStats.Probes.FaultProbesKilled,
+		SetupRetries:       faultSerStats.Protocol.SetupRetries,
+		WormholeFallbacks:  faultSerStats.Protocol.FallbackWormhole,
+		StatsIdentical:     faultSerStats == faultParStats,
+		FullScanIdentical:  faultSerStats == faultScanStats,
+	}
+	if fDelivered > 0 {
+		faulted.FallbackFraction = float64(faulted.WormholeFallbacks) / float64(fDelivered)
+	}
+
 	rep := benchReport{
 		Benchmark:      "e7-stress-16x16",
 		Generated:      time.Now().UTC().Format(time.RFC3339),
@@ -210,6 +303,7 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 		Speedup:        parallel.CyclesPerSecond / serial.CyclesPerSecond,
 		StatsIdentical: serialStats == parallelStats,
 		Lowload:        low,
+		Faulted:        faulted,
 	}
 	if runtime.NumCPU() == 1 {
 		rep.Note = "single-CPU host: workers cannot overlap, so parallel speedup hovers near 1.0; stats_identical still certifies the determinism contract"
@@ -219,6 +313,15 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 	}
 	if !low.StatsIdentical {
 		return fmt.Errorf("bench: active-set and full-scan Stats diverged — activity-tracking bug")
+	}
+	if !faulted.StatsIdentical {
+		return fmt.Errorf("bench: faulted serial and parallel Stats diverged — fault-event determinism bug")
+	}
+	if !faulted.FullScanIdentical {
+		return fmt.Errorf("bench: faulted active-set and full-scan Stats diverged — fast-forward skipped a fault")
+	}
+	if faulted.FaultsInjected != int64(faulted.FaultCount) {
+		return fmt.Errorf("bench: %d of %d scheduled faults injected", faulted.FaultsInjected, faulted.FaultCount)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -238,5 +341,9 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 	fmt.Fprintf(out, "bench lowload: %.0f cycles/s active-set vs %.0f cycles/s full-scan (%.2fx), idle ports %.1f%%, stats identical: %v\n",
 		lowActive.CyclesPerSecond, lowScan.CyclesPerSecond, low.SpeedupActiveOverFullScan,
 		100*lowActive.IdlePortFraction, low.StatsIdentical)
+	fmt.Fprintf(out, "bench faulted: %d faults (%d torn, %d killed), %d retries, %d fallbacks (%.3f of delivered), identical: workers %v, fullscan %v\n",
+		faulted.FaultsInjected, faulted.CircuitsTorn, faulted.ProbesKilled,
+		faulted.SetupRetries, faulted.WormholeFallbacks, faulted.FallbackFraction,
+		faulted.StatsIdentical, faulted.FullScanIdentical)
 	return nil
 }

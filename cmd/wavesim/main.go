@@ -69,6 +69,14 @@ func run(args []string, out io.Writer) error {
 		measure = fs.Int64("measure", 10000, "measured cycles")
 		faults  = fs.Int("faults", 0, "random faulty wave channels injected before the run")
 
+		faultCount   = fs.Int("fault-count", 0, "random wave-channel faults injected mid-run (dynamic fault schedule; 0 = off)")
+		faultStart   = fs.Int64("fault-start", 0, "cycle of the first dynamic fault (0 = cycle 1)")
+		faultSpacing = fs.Int64("fault-spacing", 0, "cycles between consecutive dynamic faults")
+		faultRepair  = fs.Int64("fault-repair", 0, "repair each dynamic fault after this many cycles (0 = permanent)")
+		faultSeed    = fs.Uint64("fault-seed", 0, "seed of the dynamic fault draw (0 = derive from -seed)")
+		retryLimit   = fs.Int("retry-limit", 0, "failed circuit setups re-armed up to this many times before falling back to wormhole (0 = off)")
+		retryBackoff = fs.Int64("retry-backoff", 0, "base of the linear retry backoff in cycles (retry r waits r*base; min 1)")
+
 		tracePath   = fs.String("trace", "", "CARP directive trace file (overrides synthetic traffic)")
 		csv         = fs.Bool("csv", false, "emit CSV instead of human-readable output")
 		hist        = fs.Bool("hist", false, "print a latency histogram")
@@ -126,6 +134,12 @@ func run(args []string, out io.Writer) error {
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	cfg.DisableActivityTracking = *fullScan
+	cfg.FaultSchedule = wave.FaultScheduleConfig{
+		Count: *faultCount, Start: *faultStart, Spacing: *faultSpacing,
+		Repair: *faultRepair, Seed: *faultSeed,
+	}
+	cfg.ProbeRetryLimit = *retryLimit
+	cfg.RetryBackoffCycles = *retryBackoff
 	switch *topoKind {
 	case "hypercube":
 		cfg.Topology = wave.TopologyConfig{Kind: "hypercube", Dims: *hyperDims}
@@ -244,6 +258,13 @@ func run(args []string, out io.Writer) error {
 		pc.Launched, pc.Succeeded, pc.Failed, pc.Misroutes, pc.Backtracks)
 	fmt.Fprintf(out, "force machinery %d waits, %d releases sent, %d discarded, %d teardowns\n",
 		pc.ForceWaits, pc.ReleasesSent, pc.ReleasesDiscarded, pc.Teardowns)
+	if pc.FaultsInjected > 0 {
+		ctr := sim.Counters()
+		fmt.Fprintf(out, "faults          %d injected, %d repaired, %d circuits torn, %d probes killed\n",
+			pc.FaultsInjected, pc.FaultRepairs, pc.FaultCircuitsTorn, pc.FaultProbesKilled)
+		fmt.Fprintf(out, "recovery        %d setup retries, %d wormhole fallbacks\n",
+			ctr.SetupRetries, ctr.FallbackWormhole)
+	}
 
 	if *hist && len(lat) > 0 {
 		fmt.Fprintln(out, "\nlatency histogram (cycles):")

@@ -263,3 +263,73 @@ func TestInvalidCapacityPanics(t *testing.T) {
 	}()
 	NewCache(0, LRU{})
 }
+
+// TestForceVictimNeverInEstablishment is the Force-phase safety contract:
+// whatever mix of lifecycle states a cache holds, VictimUsingChannel must
+// never hand a forced probe an entry that is still Setting, mid-release,
+// in use, or already promised to another release request — only Evictable
+// entries are fair game. The check is exhaustive: every combination of
+// (State x InUse x ReleaseRequested) across three entries, under all three
+// replacement policies.
+func TestForceVictimNeverInEstablishment(t *testing.T) {
+	type shape struct {
+		state   State
+		inUse   bool
+		release bool
+	}
+	var shapes []shape
+	for _, st := range []State{Setting, Established, Releasing} {
+		for _, iu := range []bool{false, true} {
+			for _, rr := range []bool{false, true} {
+				shapes = append(shapes, shape{st, iu, rr})
+			}
+		}
+	}
+
+	policies := []Policy{LRU{}, LFU{}, &Random{RNG: sim.NewRNG(7)}}
+	const n = 3 // entries per cache: 12^3 = 1728 state combinations
+	for _, pol := range policies {
+		combos := 0
+		for a := range shapes {
+			for b := range shapes {
+				for c := range shapes {
+					cache := NewCache(n, pol)
+					idx := []int{a, b, c}
+					evictable := 0
+					for i, si := range idx {
+						sh := shapes[si]
+						e := &Entry{
+							ID: ID(i + 1), Dest: topology.Node(i), Channel: topology.LinkID(i),
+							Switch: i % 2, State: sh.state,
+							InUse: sh.inUse, ReleaseRequested: sh.release,
+							// Distinct replacement accounting so LRU/LFU have
+							// real decisions to make.
+							LastUse: int64(10 - i), UseCount: int64(i),
+						}
+						if e.Evictable() {
+							evictable++
+						}
+						if err := cache.Insert(e); err != nil {
+							t.Fatal(err)
+						}
+					}
+					v := cache.VictimUsingChannel(func(topology.LinkID, int) bool { return true })
+					if v == nil {
+						if evictable != 0 {
+							t.Fatalf("policy %s: no victim despite %d evictable entries", pol.Name(), evictable)
+						}
+						continue
+					}
+					if !v.Evictable() {
+						t.Fatalf("policy %s: victim %+v is not evictable (state=%v inUse=%v release=%v)",
+							pol.Name(), v, v.State, v.InUse, v.ReleaseRequested)
+					}
+					combos++
+				}
+			}
+		}
+		if combos == 0 {
+			t.Fatalf("policy %s: exhaustive sweep never produced a victim", pol.Name())
+		}
+	}
+}

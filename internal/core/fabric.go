@@ -350,6 +350,49 @@ func (f *Fabric) schedule(n topology.Node, at int64, fn func(now int64)) {
 	f.events.Schedule(int(n), at, fn)
 }
 
+// ScheduleAt queues fn to run at cycle `at` (which must be strictly in the
+// future) on node n's shard of the event queue. The protocol layer uses it
+// for deterministic timers (probe-retry backoff); scheduled work is visible
+// to NextEventAt, so the quiescence fast-forward stops at it instead of
+// jumping past.
+func (f *Fabric) ScheduleAt(n topology.Node, at int64, fn func(now int64)) {
+	if at <= f.now {
+		panic(fmt.Sprintf("core: ScheduleAt(%d) is not in the future (now %d)", at, f.now))
+	}
+	f.schedule(n, at, fn)
+}
+
+// ScheduleFault arms one dynamic wave-channel fault: ch fails at cycle `at`;
+// when repair > 0 the channel returns to service repair cycles after the
+// injection. Faults ride the sharded event queue (shard = the link's source
+// node), so injection commits in the serial event phase of the owning cycle
+// — deterministic across worker counts — and NextEventAt keeps the
+// quiescence fast-forward from skipping over a scheduled fault.
+func (f *Fabric) ScheduleFault(at int64, ch pcs.Channel, repair int64) error {
+	if at <= f.now {
+		return fmt.Errorf("core: fault at cycle %d is not in the future (now %d)", at, f.now)
+	}
+	if repair < 0 {
+		return fmt.Errorf("core: fault repair delay must be >= 0, got %d", repair)
+	}
+	l, ok := f.Topo.LinkByID(ch.Link)
+	if !ok {
+		return fmt.Errorf("core: fault on nonexistent link %d", ch.Link)
+	}
+	if ch.Switch < 0 || ch.Switch >= f.Prm.NumSwitches {
+		return fmt.Errorf("core: fault on switch %d out of range (0..%d)", ch.Switch, f.Prm.NumSwitches-1)
+	}
+	f.schedule(l.From, at, func(now int64) {
+		f.PCS.InjectDynamicFault(ch)
+		if repair > 0 {
+			f.schedule(l.From, now+repair, func(int64) {
+				f.PCS.RepairFault(ch)
+			})
+		}
+	})
+	return nil
+}
+
 // InjectWormhole sends a message through switch S0.
 func (f *Fabric) InjectWormhole(m flit.Message) { f.WH.Inject(m) }
 

@@ -33,6 +33,8 @@ const (
 	CircuitFreed
 	// Fallback: a circuit-intended message used wormhole.
 	Fallback
+	// SetupRetry: a failed setup re-arms after a backoff (fault recovery).
+	SetupRetry
 	numKinds
 )
 
@@ -56,6 +58,8 @@ func (k Kind) String() string {
 		return "circuit-freed"
 	case Fallback:
 		return "fallback"
+	case SetupRetry:
+		return "setup-retry"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

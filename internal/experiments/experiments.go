@@ -563,30 +563,51 @@ func E7Stress(ctx context.Context, p Params) (*Report, error) {
 
 // E8Faults regenerates the fault sweep.
 func E8Faults(ctx context.Context, p Params) (*Report, error) {
-	counts := []int{0, 8, 16, 32, 64, 128}
+	staticCounts := []int{0, 8, 16, 32, 64, 128}
+	transientCounts := []int{8, 16, 32}
 	type cell struct {
+		regime                 string
+		faults                 int
 		circFrac, lat, success float64
+		retries                int64
+		fbFrac                 float64
 	}
-	cells := make([]cell, len(counts))
-	err := parallel(ctx, p, len(counts), func(i int) error {
+	cells := make([]cell, len(staticCounts)+len(transientCounts))
+	w := wave.Workload{
+		Pattern: "near", Load: 0.05, FixedLength: 64,
+		WorkingSet: 2, Reuse: 0.8, WantCircuit: true,
+	}
+	err := parallel(ctx, p, len(cells), func(i int) error {
 		cfg := baseConfig(p)
 		cfg.Protocol = "clrp"
 		cfg.MaxMisroutes = 3 // generous budget: MB-m's fault resilience
+		regime, count := "static", 0
+		if i < len(staticCounts) {
+			count = staticCounts[i]
+		} else {
+			// Transient regime: the same channel budget, but failing mid-run
+			// and repairing, with the retry/backoff recovery armed.
+			regime, count = "transient", transientCounts[i-len(staticCounts)]
+			cfg.FaultSchedule = wave.FaultScheduleConfig{
+				Count: count, Start: p.Warmup + p.Measure/10,
+				Spacing: 40, Repair: 350, Seed: p.Seed + uint64(i)*17,
+			}
+			cfg.ProbeRetryLimit = 3
+			cfg.RetryBackoffCycles = 32
+		}
 		s, err := wave.New(cfg)
 		if err != nil {
 			return err
 		}
 		defer s.Close()
-		if ferr := s.InjectFaults(counts[i], p.Seed+uint64(i)*17); ferr != nil {
-			return ferr
-		}
-		w := wave.Workload{
-			Pattern: "near", Load: 0.05, FixedLength: 64,
-			WorkingSet: 2, Reuse: 0.8, WantCircuit: true,
+		if regime == "static" {
+			if ferr := s.InjectFaults(count, p.Seed+uint64(i)*17); ferr != nil {
+				return ferr
+			}
 		}
 		res, rerr := s.RunLoadContext(ctx, w, p.Warmup, p.Measure)
 		if rerr != nil {
-			return fmt.Errorf("e8 faults=%d: %w", counts[i], rerr)
+			return fmt.Errorf("e8 %s faults=%d: %w", regime, count, rerr)
 		}
 		pc := res.Counters
 		total := pc.Succeeded + pc.Failed
@@ -594,23 +615,34 @@ func E8Faults(ctx context.Context, p Params) (*Report, error) {
 		if total > 0 {
 			success = float64(pc.Succeeded) / float64(total)
 		}
-		cells[i] = cell{circFrac: res.CircuitFraction, lat: res.AvgLatency, success: success}
+		st := s.Stats()
+		fbFrac := 0.0
+		if delivered := st.WHMsgsDelivered + st.CircuitMsgsDelivered; delivered > 0 {
+			fbFrac = float64(st.Protocol.FallbackWormhole) / float64(delivered)
+		}
+		cells[i] = cell{
+			regime: regime, faults: count,
+			circFrac: res.CircuitFraction, lat: res.AvgLatency, success: success,
+			retries: st.Protocol.SetupRetries, fbFrac: fbFrac,
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	tb := stats.NewTable("faulty-channels", "probe-success", "circuit-frac", "latency")
-	for i, c := range counts {
-		tb.AddRow(c, cells[i].success, cells[i].circFrac, cells[i].lat)
+	tb := stats.NewTable("regime", "faulty-channels", "probe-success", "circuit-frac", "latency", "retries", "fallback-frac")
+	for _, c := range cells {
+		tb.AddRow(c.regime, c.faults, c.success, c.circFrac, c.lat, c.retries, c.fbFrac)
 	}
 	return &Report{
 		ID:    "E8",
-		Title: "Static wave-channel faults: MB-3 probe resilience and graceful wormhole fallback",
+		Title: "Wave-channel faults, static and transient: MB-3 probe resilience, retry/backoff recovery and graceful wormhole fallback",
 		Table: tb,
 		Notes: []string{
 			"Expected shape: probe success degrades gracefully with faults (backtracking routes",
 			"around them); delivery never fails because phase 3 falls back to wormhole.",
+			"Transient rows fail channels mid-run (spacing 40, repair 350) with a 3-try linear",
+			"backoff armed: fallback-frac stays near zero because retries outlive the repairs.",
 		},
 	}, nil
 }

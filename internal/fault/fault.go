@@ -1,8 +1,11 @@
-// Package fault injects static link faults into the wave-switching network
-// for the E8 resilience experiments. The paper notes that the MB-m probe
-// protocol "is very resilient to static faults in the network" [12]; faults
-// here disable wave channels (circuit setup must route around or fall back
-// to wormhole), matching the static-fault model of that reference.
+// Package fault injects link faults into the wave-switching network for the
+// E8 resilience experiments, in two flavours. A Plan is the static model of
+// Gaughan & Yalamanchili [12] — channels disabled before the run starts; the
+// paper notes the MB-m probe protocol "is very resilient to static faults in
+// the network". A Schedule is the dynamic model: seeded, cycle-stamped
+// failures (optionally repaired after a delay) injected mid-run through the
+// fabric's event queue, exercising circuit teardown, probe kills and the
+// sender-side retry/backoff machinery while everything is in flight.
 package fault
 
 import (
@@ -18,27 +21,48 @@ type Plan struct {
 	Channels []pcs.Channel
 }
 
+// existingLinks lists the topology's populated link IDs in ascending order.
+func existingLinks(topo topology.Topology) []topology.LinkID {
+	links := make([]topology.LinkID, 0, topo.NumLinkSlots())
+	for id := 0; id < topo.NumLinkSlots(); id++ {
+		if _, ok := topo.LinkByID(topology.LinkID(id)); ok {
+			links = append(links, topology.LinkID(id))
+		}
+	}
+	return links
+}
+
 // RandomChannels draws `count` distinct faulty wave channels uniformly over
 // the existing links and the k wave switches. It fails if count exceeds the
-// number of wave channels.
+// number of wave channels. The draw is a partial Fisher–Yates over the
+// virtual index space links×switches — the channel list itself is never
+// materialized, so the cost is O(links + count) instead of O(links×switches)
+// per call.
 func RandomChannels(topo topology.Topology, numSwitches, count int, seed uint64) (Plan, error) {
-	var all []pcs.Channel
-	for id := 0; id < topo.NumLinkSlots(); id++ {
-		if _, ok := topo.LinkByID(topology.LinkID(id)); !ok {
-			continue
-		}
-		for sw := 0; sw < numSwitches; sw++ {
-			all = append(all, pcs.Channel{Link: topology.LinkID(id), Switch: sw})
-		}
-	}
-	if count < 0 || count > len(all) {
-		return Plan{}, fmt.Errorf("fault: count %d out of range (0..%d)", count, len(all))
+	links := existingLinks(topo)
+	total := len(links) * numSwitches
+	if count < 0 || count > total {
+		return Plan{}, fmt.Errorf("fault: count %d out of range (0..%d)", count, total)
 	}
 	rng := sim.NewRNG(seed)
-	perm := rng.Perm(len(all))
 	plan := Plan{Channels: make([]pcs.Channel, count)}
+	// displaced[p] remembers the value swapped into position p by an earlier
+	// step; untouched positions implicitly hold their own index. This is
+	// Fisher–Yates stopped after `count` steps, so prefixes of longer draws
+	// agree and count == total yields a full permutation.
+	displaced := make(map[int]int, count)
 	for i := 0; i < count; i++ {
-		plan.Channels[i] = all[perm[i]]
+		j := i + rng.Intn(total-i)
+		vj, ok := displaced[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := displaced[i]
+		if !ok {
+			vi = i
+		}
+		displaced[j] = vi
+		plan.Channels[i] = pcs.Channel{Link: links[vj/numSwitches], Switch: vj % numSwitches}
 	}
 	return plan, nil
 }
@@ -67,4 +91,44 @@ func NodeIsolating(topo topology.Topology, numSwitches int, n topology.Node) Pla
 		}
 	}
 	return plan
+}
+
+// Event is one scheduled dynamic fault: wave channel Ch fails at cycle
+// Cycle (>= 1); when Repair is positive the channel returns to service
+// Repair cycles after injection (a transient fault), otherwise the fault is
+// permanent.
+type Event struct {
+	Cycle  int64
+	Ch     pcs.Channel
+	Repair int64
+}
+
+// Schedule is a dynamic fault plan: events injected mid-run through the
+// fabric's event queue, in contrast to Plan's pre-run static faults.
+type Schedule struct {
+	Events []Event
+}
+
+// RandomSchedule draws `count` distinct channels (the same seeded draw as
+// RandomChannels) and schedules the i-th to fail at start+i*spacing, each
+// repaired `repair` cycles after its injection (0 = permanent).
+func RandomSchedule(topo topology.Topology, numSwitches, count int, start, spacing, repair int64, seed uint64) (Schedule, error) {
+	if start < 1 {
+		return Schedule{}, fmt.Errorf("fault: schedule start must be >= 1, got %d", start)
+	}
+	if spacing < 0 {
+		return Schedule{}, fmt.Errorf("fault: schedule spacing must be >= 0, got %d", spacing)
+	}
+	if repair < 0 {
+		return Schedule{}, fmt.Errorf("fault: schedule repair must be >= 0, got %d", repair)
+	}
+	plan, err := RandomChannels(topo, numSwitches, count, seed)
+	if err != nil {
+		return Schedule{}, err
+	}
+	sch := Schedule{Events: make([]Event, count)}
+	for i, ch := range plan.Channels {
+		sch.Events[i] = Event{Cycle: start + int64(i)*spacing, Ch: ch, Repair: repair}
+	}
+	return sch, nil
 }

@@ -147,3 +147,109 @@ func TestNodeIsolatingZeroSwitches(t *testing.T) {
 		t.Fatalf("k=0 isolation produced %d fault channels", len(plan.Channels))
 	}
 }
+
+// TestRandomChannelsFullDrawIsPermutation: count == len(all) must yield every
+// wave channel exactly once (the partial Fisher–Yates run to completion).
+func TestRandomChannelsFullDrawIsPermutation(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	const total = 64 * 2 // 64 torus links x 2 switches
+	plan, err := RandomChannels(topo, 2, total, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[pcs.Channel]bool, total)
+	for _, ch := range plan.Channels {
+		if seen[ch] {
+			t.Fatalf("full draw repeated channel %+v", ch)
+		}
+		seen[ch] = true
+	}
+	if len(seen) != total {
+		t.Fatalf("full draw covered %d of %d channels", len(seen), total)
+	}
+}
+
+// TestRandomChannelsDuplicateLinks: with several wave switches the same link
+// legitimately appears under different switches; the draw must keep those
+// channels distinct while never repeating a (link, switch) pair.
+func TestRandomChannelsDuplicateLinks(t *testing.T) {
+	topo := topology.MustCube([]int{2}, false) // single link each way
+	plan, err := RandomChannels(topo, 4, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLink := map[topology.LinkID]int{}
+	seen := map[pcs.Channel]bool{}
+	for _, ch := range plan.Channels {
+		if seen[ch] {
+			t.Fatalf("duplicate channel %+v", ch)
+		}
+		seen[ch] = true
+		byLink[ch.Link]++
+	}
+	for link, n := range byLink {
+		if n != 4 {
+			t.Fatalf("link %d drawn %d times, want once per switch (4)", link, n)
+		}
+	}
+}
+
+// TestRandomChannelsPrefixConsistent: stopping the Fisher–Yates walk earlier
+// must not change the channels already drawn — a count-k plan is the prefix
+// of the count-n plan for the same seed. (This is also what makes fault
+// sweeps comparable across counts.)
+func TestRandomChannelsPrefixConsistent(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	long, err := RandomChannels(topo, 2, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := RandomChannels(topo, 2, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range short.Channels {
+		if ch != long.Channels[i] {
+			t.Fatalf("prefix diverged at %d: %+v vs %+v", i, ch, long.Channels[i])
+		}
+	}
+}
+
+func TestRandomScheduleShape(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	sch, err := RandomSchedule(topo, 2, 5, 100, 30, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sch.Events) != 5 {
+		t.Fatalf("events = %d, want 5", len(sch.Events))
+	}
+	plan, _ := RandomChannels(topo, 2, 5, 7)
+	for i, ev := range sch.Events {
+		if want := int64(100 + 30*i); ev.Cycle != want {
+			t.Fatalf("event %d at cycle %d, want %d", i, ev.Cycle, want)
+		}
+		if ev.Repair != 400 {
+			t.Fatalf("event %d repair = %d", i, ev.Repair)
+		}
+		if ev.Ch != plan.Channels[i] {
+			t.Fatalf("event %d channel %+v, want the RandomChannels draw %+v", i, ev.Ch, plan.Channels[i])
+		}
+	}
+}
+
+func TestRandomScheduleValidation(t *testing.T) {
+	topo := topology.MustCube([]int{4, 4}, true)
+	if _, err := RandomSchedule(topo, 2, 5, 0, 10, 0, 1); err == nil {
+		t.Fatal("start 0 accepted (fault events must be strictly in the future)")
+	}
+	if _, err := RandomSchedule(topo, 2, 5, 10, -1, 0, 1); err == nil {
+		t.Fatal("negative spacing accepted")
+	}
+	if _, err := RandomSchedule(topo, 2, 5, 10, 0, -1, 1); err == nil {
+		t.Fatal("negative repair accepted")
+	}
+	if _, err := RandomSchedule(topo, 2, 999, 10, 0, 0, 1); err == nil {
+		t.Fatal("oversized count accepted")
+	}
+}

@@ -124,6 +124,11 @@ type Counters struct {
 	ReleasesDiscarded int64
 	Teardowns         int64
 	ControlHops       int64
+	// Dynamic-fault accounting (InjectDynamicFault / RepairFault).
+	FaultsInjected    int64
+	FaultRepairs      int64
+	FaultCircuitsTorn int64
+	FaultProbesKilled int64
 }
 
 // Params configures the PCS engine.
@@ -410,6 +415,176 @@ func (e *Engine) InjectFault(c Channel) {
 	}
 }
 
+// InjectDynamicFault marks wave channel c faulty mid-run, whatever its
+// current state — the dynamic-fault model (failures during operation), as
+// opposed to InjectFault's static pre-run faults:
+//
+//   - Free: the channel simply becomes unselectable.
+//   - Reserved: the owning probe — or, if the probe already reached its
+//     destination, the in-flight acknowledgment and its registered circuit —
+//     is killed: every channel the setup holds is released, the history
+//     store cleared, and the done callback fires with OK=false so the sender
+//     can retry or fall back to wormhole.
+//   - Established mid-ack: same wholesale kill; a stale ack must never flip
+//     a faulty channel back to Established.
+//   - Established: the circuit's source NI is notified exactly as if a
+//     release flit had arrived (hardware fault detection signalling the
+//     source); the cache entry is invalidated and the circuit torn down once
+//     idle. The teardown flit skips the faulty hop (ownership guard in
+//     stepTeardowns) instead of resurrecting it.
+//
+// The wormhole substrate and the control network are assumed healthy: only
+// wave data channels fail. Callers must invoke this between cycles (the
+// fabric's event phase), never from inside the engine's own stepping.
+func (e *Engine) InjectDynamicFault(c Channel) {
+	k := e.key(c)
+	switch e.status[k] {
+	case Faulty:
+		return // already down
+	case Free:
+		e.status[k] = Faulty
+		e.markTouched(k)
+	case Reserved:
+		// While Reserved the owner register holds a probe ID — both during
+		// the search and, after circuit registration, until the returning
+		// ack flips the channel to Established.
+		id := flit.ProbeID(e.owner[k])
+		e.faultChannel(k)
+		if !e.killProbeByID(id) {
+			e.killAckByProbe(id)
+		}
+	case Established:
+		id := circuit.ID(e.owner[k])
+		e.faultChannel(k)
+		circ, ok := e.circuits[id]
+		if !ok {
+			break
+		}
+		if circ.ackPending {
+			e.killAck(circ)
+			break
+		}
+		if !circ.tearingDown {
+			e.Ctr.FaultCircuitsTorn++
+		}
+		e.host.RequestRemoteRelease(id)
+	}
+	e.Ctr.FaultsInjected++
+}
+
+// RepairFault returns a faulty channel to service (the transient-fault
+// model: a fault with a repair time). Only the Faulty→Free transition is
+// honoured; a channel that was never faulted is left alone.
+func (e *Engine) RepairFault(c Channel) {
+	k := e.key(c)
+	if e.status[k] != Faulty {
+		return
+	}
+	e.status[k] = Free
+	e.owner[k] = 0
+	e.ackRet[k] = false
+	e.markTouched(k)
+	e.Ctr.FaultRepairs++
+}
+
+// faultChannel wipes channel k's registers and marks it Faulty.
+func (e *Engine) faultChannel(k int32) {
+	e.status[k] = Faulty
+	e.owner[k] = 0
+	e.ackRet[k] = false
+	e.markTouched(k)
+	e.directMap[k] = -1
+	e.reverseMap[k] = -1
+}
+
+// freeHopOwned releases one path hop of a killed setup, but only while the
+// hop still belongs to that setup: the faulted hop itself is already Faulty,
+// and the guard keeps a kill from clobbering channels that changed hands.
+func (e *Engine) freeHopOwned(ch Channel, probeOwner, circOwner int64) {
+	k := e.key(ch)
+	switch {
+	case e.status[k] == Reserved && e.owner[k] == probeOwner:
+	case e.status[k] == Established && e.owner[k] == circOwner:
+	default:
+		return
+	}
+	e.status[k] = Free
+	e.owner[k] = 0
+	e.ackRet[k] = false
+	e.markTouched(k)
+	e.directMap[k] = -1
+	e.reverseMap[k] = -1
+}
+
+// killProbeByID removes an in-flight probe hit by a dynamic fault: its
+// reserved hops are freed (ownership-guarded), its history store cleared,
+// and its done callback fires with OK=false — the same observable outcome as
+// a backtrack all the way home, just immediate. Returns false when no such
+// probe is searching (it may have handed off to an ack already).
+func (e *Engine) killProbeByID(id flit.ProbeID) bool {
+	for i, p := range e.probes {
+		if p.id != id {
+			continue
+		}
+		e.probes = append(e.probes[:i], e.probes[i+1:]...)
+		for j := len(p.path) - 1; j >= 0; j-- {
+			e.freeHopOwned(p.path[j].ch, int64(p.id), 0)
+		}
+		e.cleanupHistory(p)
+		e.Ctr.ProbesFailed++
+		e.Ctr.FaultProbesKilled++
+		if p.done != nil {
+			p.done(SetupResult{Probe: p.id, OK: false, Cycles: e.now - p.launched + 1})
+		}
+		e.putProbe(p)
+		return true
+	}
+	return false
+}
+
+// killAckByProbe finds the in-flight acknowledgment carried for probe id and
+// kills its whole setup.
+func (e *Engine) killAckByProbe(id flit.ProbeID) {
+	for _, a := range e.acks {
+		if a.probe.id == id {
+			e.killAck(a.circ)
+			return
+		}
+	}
+}
+
+// killAck destroys a registered-but-ack-pending circuit hit by a dynamic
+// fault: the ack is removed from flight, every path hop still owned by the
+// setup is freed (the acked prefix is Established under the circuit ID, the
+// rest Reserved under the probe ID), and the probe fails back to its sender.
+func (e *Engine) killAck(circ *Circuit) {
+	idx := -1
+	for i := range e.acks {
+		if e.acks[i].circ == circ {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	p := e.acks[idx].probe
+	e.acks = append(e.acks[:idx], e.acks[idx+1:]...)
+	for j := len(circ.Path) - 1; j >= 0; j-- {
+		e.freeHopOwned(circ.Path[j], int64(p.id), int64(circ.ID))
+	}
+	delete(e.circuits, circ.ID)
+	e.cleanupHistory(p)
+	e.Ctr.ProbesFailed++
+	e.Ctr.FaultProbesKilled++
+	e.Ctr.FaultCircuitsTorn++
+	if p.done != nil {
+		p.done(SetupResult{Probe: p.id, OK: false, Cycles: e.now - p.launched + 1})
+	}
+	e.putProbe(p)
+	e.putCircuit(circ)
+}
+
 // LaunchProbe starts one circuit-setup attempt from src to dst across wave
 // switch sw (0-based). done fires exactly once with the outcome.
 func (e *Engine) LaunchProbe(src, dst topology.Node, sw int, force bool, done func(SetupResult)) flit.ProbeID {
@@ -538,8 +713,16 @@ func (e *Engine) Idle() bool {
 // running them. The clock feeds probe setup-latency accounting (LaunchProbe
 // records e.now): host callbacks that run between the skip and the next Cycle
 // — e.g. an injection event launching a probe — must observe the same clock
-// they would have under cycle-by-cycle execution.
-func (e *Engine) SkipTo(now int64) { e.now = now }
+// they would have under cycle-by-cycle execution. Skipping while work is in
+// flight would silently corrupt that accounting (the skipped cycles never
+// step the work), so a non-idle skip panics instead.
+func (e *Engine) SkipTo(now int64) {
+	if !e.Idle() {
+		panic(fmt.Sprintf("pcs: SkipTo(%d) with in-flight work (%d probes, %d acks, %d teardowns, %d releases)",
+			now, len(e.probes), len(e.acks), len(e.teardowns), len(e.releases)))
+	}
+	e.now = now
+}
 
 // ---------------------------------------------------------------------------
 // Teardown flits.
@@ -559,13 +742,19 @@ func (e *Engine) stepTeardowns() {
 	for _, td := range work {
 		ch := td.circ.Path[td.next]
 		k := e.key(ch)
-		// Free this hop: status, ack bit, and both mapping registers.
-		e.status[k] = Free
-		e.ackRet[k] = false
-		e.owner[k] = 0
-		e.markTouched(k)
-		e.reverseMap[k] = -1
-		e.directMap[k] = -1
+		// Free this hop — status, ack bit, and both mapping registers — but
+		// only while it still belongs to this circuit: a hop lost to a
+		// dynamic fault (Faulty, or repaired and since re-reserved) must not
+		// be resurrected. The control flit itself travels on the healthy
+		// control network regardless.
+		if e.status[k] == Established && circuit.ID(e.owner[k]) == td.circ.ID {
+			e.status[k] = Free
+			e.ackRet[k] = false
+			e.owner[k] = 0
+			e.markTouched(k)
+			e.reverseMap[k] = -1
+			e.directMap[k] = -1
+		}
 		e.Ctr.ControlHops++
 		e.host.Progress()
 		td.next++

@@ -75,6 +75,18 @@ type Options struct {
 	// k"): every probe starts at switch S1 instead. Used by the E18 ablation
 	// to measure what the heuristic is worth.
 	NoSwitchSpread bool
+	// ProbeRetryLimit, when positive, lets a fully failed setup sequence
+	// (every switch, both CLRP phases) re-arm up to this many times before
+	// the failure is final (CLRP phase 3 / CARP wormhole fallback). Retries
+	// are what make dynamic faults survivable: a transiently faulted channel
+	// may be back in service by the time the retry fires. Zero keeps the
+	// paper's single-sequence behaviour, bit-identical to before.
+	ProbeRetryLimit int
+	// RetryBackoffCycles is the base of the deterministic linear backoff:
+	// retry r fires r*RetryBackoffCycles cycles after the failure (values
+	// below 1 are treated as 1). The timer rides the fabric event queue, so
+	// backoff waits are deterministic and fast-forward-safe.
+	RetryBackoffCycles int64
 }
 
 // Counters aggregates protocol-level statistics.
@@ -100,6 +112,9 @@ type Counters struct {
 	// behind the in-use circuit); CircuitSendsStarted counts them.
 	CircuitWaitCycles   int64
 	CircuitSendsStarted int64
+	// SetupRetries counts failed setup sequences re-armed by the
+	// ProbeRetryLimit/RetryBackoffCycles fault-recovery machinery.
+	SetupRetries int64
 }
 
 // Hooks are the protocol manager's upcalls.
@@ -116,6 +131,7 @@ type destState struct {
 	opening  bool           // setup FSM active
 	closeReq bool           // CARP: close once drained
 	wantSlot bool           // CLRP: waiting for a cache slot to free
+	retries  int            // setup sequences re-armed for the current FSM run
 }
 
 // Manager drives the protocol for every node over one fabric.
@@ -397,13 +413,46 @@ func (m *Manager) probeNext(src, dst topology.Node, entry *circuit.Entry, initia
 			m.probeNext(src, dst, entry, initial, 0, true)
 			return
 		}
-		m.setupFailed(src, dst, entry)
+		m.attemptExhausted(src, dst, entry)
 	})
+}
+
+// attemptExhausted fires when a full probe sequence — every switch, both
+// phases for CLRP — has failed. With a retry budget configured, the setup
+// FSM stays open (the cache entry stays Setting, messages keep queueing) and
+// the whole sequence re-launches after a deterministic backoff; otherwise,
+// or once the budget is spent, the failure is final.
+func (m *Manager) attemptExhausted(src, dst topology.Node, entry *circuit.Entry) {
+	ds := m.dest(src, dst)
+	if m.Opt.ProbeRetryLimit > 0 && ds.retries < m.Opt.ProbeRetryLimit {
+		ds.retries++
+		m.Ctr.SetupRetries++
+		m.ev(events.SetupRetry, int(src), int(dst), int64(ds.retries))
+		backoff := m.Opt.RetryBackoffCycles
+		if backoff < 1 {
+			backoff = 1
+		}
+		// Linear backoff: the r-th retry waits r times the base, spreading
+		// repeated failures out without randomness that could diverge
+		// across runs.
+		at := m.Fab.Now() + backoff*int64(ds.retries)
+		m.Fab.ScheduleAt(src, at, func(int64) {
+			force := m.Opt.ForceFirst && m.Kind == CLRP
+			if force {
+				m.Ctr.Phase2Entered++
+				m.ev(events.Phase2, int(src), int(dst), 0)
+			}
+			m.probeNext(src, dst, entry, entry.InitialSwitch, 0, force)
+		})
+		return
+	}
+	m.setupFailed(src, dst, entry)
 }
 
 func (m *Manager) setupSucceeded(src, dst topology.Node, entry *circuit.Entry, res pcs.SetupResult) {
 	ds := m.dest(src, dst)
 	ds.opening = false
+	ds.retries = 0
 	entry.ID = res.Circuit
 	entry.Channel = res.First.Link
 	entry.Switch = res.First.Switch
@@ -434,6 +483,7 @@ func (m *Manager) setupFailed(src, dst topology.Node, entry *circuit.Entry) {
 	ds := m.dest(src, dst)
 	ds.opening = false
 	ds.closeReq = false
+	ds.retries = 0
 	m.Ctr.SetupsFailed++
 	m.ev(events.SetupFail, int(src), int(dst), 0)
 	if m.Kind == CLRP {

@@ -326,3 +326,38 @@ func TestShutdownDeadlineCancelsRunning(t *testing.T) {
 		t.Fatalf("job state = %s, want cancelled", st)
 	}
 }
+
+// TestFaultMetricsAccumulate: a job armed with a dynamic fault schedule and
+// retry budget feeds the fault-recovery counters into /metrics when it
+// completes.
+func TestFaultMetricsAccumulate(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4})
+	spec := `{
+		"kind": "load",
+		"config": {
+			"topology": {"kind": "torus", "radix": [4, 4]}, "seed": 3,
+			"faultschedule": {"count": 4, "start": 200, "spacing": 25, "repair": 300},
+			"proberetrylimit": 3, "retrybackoffcycles": 16
+		},
+		"load": {"pattern": "uniform", "load": 0.05, "fixedlength": 24},
+		"warmup": 100, "measure": 2000
+	}`
+	v := submit(t, ts, spec)
+	final := waitState(t, ts, v.ID, State.Terminal)
+	if final.State != StateDone {
+		t.Fatalf("faulted job finished %s (%s)", final.State, final.Error)
+	}
+	_, metrics := doReq(t, ts, "GET", "/metrics", "")
+	if !strings.Contains(metrics, "waved_faults_injected_total 4") {
+		t.Fatalf("metrics missing fault injections:\n%s", metrics)
+	}
+	for _, name := range []string{
+		"waved_circuits_torn_total",
+		"waved_setup_retries_total",
+		"waved_wormhole_fallbacks_total",
+	} {
+		if !strings.Contains(metrics, name+" ") {
+			t.Fatalf("metrics missing %s:\n%s", name, metrics)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -228,4 +229,61 @@ func TestFailedJobClassified(t *testing.T) {
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("failed job result: status %d body %s", resp.StatusCode, body)
 	}
+}
+
+// TestRetryAfterNeverZero pins the Retry-After estimate: whatever the queue
+// depth and worker count — including an empty queue, and depths that truncate
+// to zero under integer division — the advertised wait is at least one
+// second, and deep queues round up rather than down.
+func TestRetryAfterNeverZero(t *testing.T) {
+	cases := []struct {
+		depth, workers, want int
+	}{
+		{0, 1, 1}, {0, 8, 1},
+		{1, 4, 1}, {3, 4, 1}, // would be 0 under floor division
+		{4, 4, 1},
+		{5, 4, 2}, // ceiling, not floor
+		{16, 2, 8},
+	}
+	for _, tc := range cases {
+		s := &Server{cfg: Config{Workers: tc.workers}, queue: newJobQueue(32)}
+		for i := 0; i < tc.depth; i++ {
+			s.queue.push(&Job{})
+		}
+		if got := s.retryAfter(); got != tc.want {
+			t.Errorf("retryAfter(depth=%d, workers=%d) = %d, want %d",
+				tc.depth, tc.workers, got, tc.want)
+		}
+		if got := s.retryAfter(); got < 1 {
+			t.Errorf("retryAfter(depth=%d, workers=%d) = %d, below 1s floor",
+				tc.depth, tc.workers, got)
+		}
+	}
+}
+
+// TestRetryAfterHeaderParses drives the real 429 path and asserts the header
+// a client sees is a parseable, positive integer (RFC 9110 delta-seconds).
+func TestRetryAfterHeaderParses(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 1})
+	long := quickSpec(1, 2_000_000_000)
+	running := submit(t, ts, long)
+	waitState(t, ts, running.ID, func(st State) bool { return st == StateRunning })
+	queued := submit(t, ts, long)
+
+	resp, _ := doReq(t, ts, "POST", "/v1/jobs", long)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	if secs < 1 {
+		t.Fatalf("Retry-After = %d, want >= 1", secs)
+	}
+
+	doReq(t, ts, "DELETE", "/v1/jobs/"+queued.ID, "")
+	doReq(t, ts, "DELETE", "/v1/jobs/"+running.ID, "")
+	waitState(t, ts, queued.ID, State.Terminal)
+	waitState(t, ts, running.ID, State.Terminal)
 }

@@ -17,6 +17,13 @@ type metrics struct {
 	cancelled atomic.Int64
 	running   atomic.Int64
 	cycles    atomic.Int64
+
+	// Dynamic-fault recovery totals, accumulated from each completed
+	// simulation job's final Stats (runSim).
+	faultsInjected    atomic.Int64
+	circuitsTorn      atomic.Int64
+	setupRetries      atomic.Int64
+	wormholeFallbacks atomic.Int64
 }
 
 // WriteMetrics renders the Prometheus text exposition format (0.0.4).
@@ -56,6 +63,18 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		{"waved_jobs_cancelled_total", "counter",
 			"Jobs cancelled by clients or by shutdown.",
 			float64(s.metrics.cancelled.Load())},
+		{"waved_faults_injected_total", "counter",
+			"Dynamic wave-channel faults injected across completed jobs.",
+			float64(s.metrics.faultsInjected.Load())},
+		{"waved_circuits_torn_total", "counter",
+			"Established circuits torn down by dynamic faults.",
+			float64(s.metrics.circuitsTorn.Load())},
+		{"waved_setup_retries_total", "counter",
+			"Circuit-setup sequences re-armed by the retry/backoff path.",
+			float64(s.metrics.setupRetries.Load())},
+		{"waved_wormhole_fallbacks_total", "counter",
+			"Messages that degraded to wormhole after setup failure.",
+			float64(s.metrics.wormholeFallbacks.Load())},
 	}
 	for _, r := range rows {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n",

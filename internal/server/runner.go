@@ -125,6 +125,10 @@ func (s *Server) runSim(ctx context.Context, j *Job) (*Result, error) {
 		res.Closed = r
 	}
 	st := sim.Stats()
+	s.metrics.faultsInjected.Add(st.Probes.FaultsInjected)
+	s.metrics.circuitsTorn.Add(st.Probes.FaultCircuitsTorn)
+	s.metrics.setupRetries.Add(st.Protocol.SetupRetries)
+	s.metrics.wormholeFallbacks.Add(st.Protocol.FallbackWormhole)
 	res.Stats = &st
 	return res, nil
 }

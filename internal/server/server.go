@@ -137,8 +137,11 @@ func (s *Server) Cancel(j *Job) bool {
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // retryAfter estimates seconds until queue space frees, for Retry-After.
+// Ceiling division over the worker count, clamped to at least 1: RFC 9110
+// requires a non-negative integer, and a 0 would invite an immediate retry
+// against a still-full queue.
 func (s *Server) retryAfter() int {
-	secs := s.queue.depth() / s.cfg.Workers
+	secs := (s.queue.depth() + s.cfg.Workers - 1) / s.cfg.Workers
 	if secs < 1 {
 		secs = 1
 	}

@@ -111,6 +111,21 @@ type Config struct {
 	// (experiment E18): all probes start at wave switch S1.
 	NoSwitchSpread bool
 
+	// FaultSchedule arms deterministic mid-run wave-channel faults (the
+	// dynamic-fault model; the zero value schedules none). Contrast
+	// Simulator.InjectFaults, which disables channels statically before the
+	// run. See FaultScheduleConfig.
+	FaultSchedule FaultScheduleConfig
+	// ProbeRetryLimit, when positive, re-arms a fully failed circuit-setup
+	// sequence up to this many times (deterministic backoff between tries)
+	// before CLRP enters phase 3 / CARP falls back to wormhole — the
+	// recovery path for transient faults. Zero keeps the paper's
+	// single-sequence behaviour.
+	ProbeRetryLimit int
+	// RetryBackoffCycles is the base of the linear retry backoff: retry r
+	// fires r*RetryBackoffCycles cycles after the failure (minimum 1).
+	RetryBackoffCycles int64
+
 	// DisableRoutingTable routes headers through the algorithmic routing
 	// implementation instead of the precomputed (here, dst) candidate table
 	// built at simulator construction. Results are bit-identical either way;

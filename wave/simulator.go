@@ -62,6 +62,8 @@ func New(cfg Config) (*Simulator, error) {
 		SinglePhase2Switch: cfg.SinglePhase2Switch,
 		MinCircuitFlits:    cfg.MinCircuitFlits,
 		NoSwitchSpread:     cfg.NoSwitchSpread,
+		ProbeRetryLimit:    cfg.ProbeRetryLimit,
+		RetryBackoffCycles: cfg.RetryBackoffCycles,
 	}
 	s.mgr, err = protocol.New(topo, cfg.coreParams(), kind, opt, protocol.Hooks{
 		Delivered: func(m flit.Message, now int64, viaCircuit bool) {
@@ -75,6 +77,10 @@ func New(cfg Config) (*Simulator, error) {
 		Progress: s.wd.Progress,
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := s.installFaultSchedule(); err != nil {
+		s.Close()
 		return nil, err
 	}
 	return s, nil
@@ -298,6 +304,10 @@ func (s *Simulator) ProbeCounters() ProbeCounters {
 		ReleasesSent:      c.ReleasesSent,
 		ReleasesDiscarded: c.ReleasesDiscarded,
 		Teardowns:         c.Teardowns,
+		FaultsInjected:    c.FaultsInjected,
+		FaultRepairs:      c.FaultRepairs,
+		FaultCircuitsTorn: c.FaultCircuitsTorn,
+		FaultProbesKilled: c.FaultProbesKilled,
 	}
 }
 
@@ -307,6 +317,9 @@ type ProbeCounters struct {
 	Misroutes, Backtracks, ForceWaits int64
 	ReleasesSent, ReleasesDiscarded   int64
 	Teardowns                         int64
+	// Dynamic-fault recovery accounting (Config.FaultSchedule).
+	FaultsInjected, FaultRepairs         int64
+	FaultCircuitsTorn, FaultProbesKilled int64
 }
 
 // CacheStats aggregates circuit-cache behaviour over all nodes.
