@@ -1,16 +1,24 @@
-// Command cdgcheck statically verifies the deadlock freedom of the wormhole
-// routing functions on a given topology by building the channel dependency
-// graph (Dally & Seitz; Duato) and searching for cycles. This is the static
-// half of the paper's Theorem 1/2 proofs ("the routing algorithm used for
-// wormhole switching is deadlock-free").
+// Command cdgcheck statically certifies a full wave-switching configuration
+// before it runs: the wormhole substrate's channel dependency graph (Dally &
+// Seitz; Duato's escape and valid-subrelation conditions), the delivery /
+// livelock proof, the protocol-level extended wait-for graph, and — when
+// faults are given — the residual re-proof. It is a thin CLI over
+// internal/verify; waved's POST /v1/verify endpoint runs the same prover.
+//
+// Exit codes: 0 the configuration is certified, 1 a proof failed (the
+// counterexample is printed), 2 the invocation itself is malformed (unknown
+// flag, bad radix, unknown routing function, VC count below the function's
+// minimum).
 //
 // Examples:
 //
-//	cdgcheck -topology torus -radix 8x8 -routing duato -vcs 3
-//	cdgcheck -topology mesh -radix 16x16 -routing dor -vcs 1
+//	cdgcheck -topology torus -radix 8x8 -routing duato -vcs 3 -protocol clrp
+//	cdgcheck -topology hypercube -dims 6 -routing all -vcs 2
+//	cdgcheck -topology torus -radix 4x4 -routing dor-nodateline -vcs 1 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -18,66 +26,177 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/pcs"
+	"repro/internal/protocol"
 	"repro/internal/routing"
 	"repro/internal/topology"
+	"repro/internal/verify"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	switch err := run(os.Args[1:], os.Stdout); {
+	case err == nil:
+	case errNotCertified(err):
 		fmt.Fprintln(os.Stderr, "cdgcheck:", err)
 		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "cdgcheck:", err)
+		os.Exit(2)
 	}
+}
+
+// notCertified marks proof failures (exit 1) as opposed to usage errors
+// (exit 2).
+type notCertified struct{ msg string }
+
+func (e notCertified) Error() string { return e.msg }
+
+func errNotCertified(err error) bool {
+	_, ok := err.(notCertified)
+	return ok
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cdgcheck", flag.ContinueOnError)
 	var (
-		topoKind = fs.String("topology", "torus", "mesh or torus")
-		radix    = fs.String("radix", "8x8", "nodes per dimension, e.g. 8x8")
-		fnName   = fs.String("routing", "duato", "routing function: dor or duato")
+		topoKind = fs.String("topology", "torus", "mesh, torus or hypercube")
+		radix    = fs.String("radix", "8x8", "nodes per dimension for mesh/torus, e.g. 8x8")
+		dims     = fs.Int("dims", 6, "dimensions for -topology hypercube")
+		fnName   = fs.String("routing", "duato", "routing function ("+strings.Join(routing.Names(), ", ")+") or 'all'")
 		vcs      = fs.Int("vcs", 3, "virtual channels per physical channel")
+		proto    = fs.String("protocol", "clrp", "protocol: wormhole, clrp, carp or pcs")
+		switches = fs.Int("switches", 2, "wave-pipelined switches per router (k)")
+		misroute = fs.Int("misroutes", 2, "MB-m probe misroute budget")
+		retries  = fs.Int("retries", 3, "setup-sequence retry limit")
+		recovery = fs.Int64("recovery", 0, "abort-and-retry recovery timeout in cycles (0 = off)")
+		faults   = fs.String("faults", "", "permanent wave faults as link:switch pairs, e.g. 12:0,12:1")
+		jsonOut  = fs.Bool("json", false, "emit the certificate as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	parts := strings.Split(*radix, "x")
-	r := make([]int, len(parts))
-	for i, p := range parts {
-		v, err := strconv.Atoi(p)
+	topo, err := buildTopology(*topoKind, *radix, *dims)
+	if err != nil {
+		return err
+	}
+	faultSet, err := parseFaults(*faults)
+	if err != nil {
+		return err
+	}
+
+	names := []string{*fnName}
+	if *fnName == "all" {
+		names = routing.Names()
+	}
+
+	failed := 0
+	for _, name := range names {
+		sp := verify.Spec{
+			Topo: topo, Routing: name, NumVCs: *vcs,
+			Protocol: protocol.Kind(*proto), NumSwitches: *switches,
+			MaxMisroutes: *misroute, ProbeRetryLimit: *retries,
+			RecoveryTimeout: *recovery, Faults: faultSet,
+		}
+		cert, err := verify.Certify(sp)
 		if err != nil {
-			return fmt.Errorf("bad radix %q: %v", *radix, err)
+			if *fnName == "all" {
+				// Sweeping all functions: one whose VC minimum exceeds -vcs
+				// is skipped, not a usage error.
+				fmt.Fprintf(out, "%s: skipped (%v)\n", name, err)
+				continue
+			}
+			return err
 		}
-		r[i] = v
-	}
-	topo, err := topology.NewCube(r, *topoKind == "torus")
-	if err != nil {
-		return err
-	}
-	fn, err := routing.New(*fnName, topo, *vcs)
-	if err != nil {
-		return err
-	}
-
-	fmt.Fprintf(out, "topology: %s\nrouting:  %s with %d VCs (escape subfunction: %s)\n",
-		topo.Name(), fn.Name(), *vcs, fn.Escape().Name())
-
-	if err := routing.Reachability(topo, fn); err != nil {
-		return fmt.Errorf("escape connectivity FAILED: %w", err)
-	}
-	fmt.Fprintln(out, "escape connectivity: OK (every destination reachable via escape channels)")
-
-	g := routing.BuildCDG(topo, fn.Escape())
-	v, e, maxOut := g.Stats()
-	fmt.Fprintf(out, "escape dependency graph: %d channels, %d dependencies, max out-degree %d\n", v, e, maxOut)
-
-	if cyc := g.FindCycle(); cyc != nil {
-		fmt.Fprintln(out, "VERDICT: CYCLIC — the configuration can deadlock. Cycle:")
-		for _, vert := range cyc {
-			fmt.Fprintf(out, "  %s\n", g.VertexName(vert, topo))
+		if *jsonOut {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(cert); err != nil {
+				return err
+			}
+		} else {
+			printCert(out, cert)
 		}
-		return fmt.Errorf("dependency cycle found")
+		if !cert.Certified {
+			failed++
+		}
 	}
-	fmt.Fprintln(out, "VERDICT: ACYCLIC — deadlock-free per Duato's condition")
+	if failed > 0 {
+		return notCertified{fmt.Sprintf("%d configuration(s) failed certification", failed)}
+	}
 	return nil
+}
+
+// buildTopology constructs the requested topology.
+func buildTopology(kind, radix string, dims int) (topology.Topology, error) {
+	switch kind {
+	case "hypercube":
+		return topology.NewHypercube(dims)
+	case "mesh", "torus":
+		parts := strings.Split(radix, "x")
+		r := make([]int, len(parts))
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("bad radix %q: %v", radix, err)
+			}
+			r[i] = v
+		}
+		return topology.NewCube(r, kind == "torus")
+	default:
+		return nil, fmt.Errorf("unknown topology %q (mesh, torus or hypercube)", kind)
+	}
+}
+
+// parseFaults parses "link:switch,link:switch,..." into wave channels.
+func parseFaults(s string) ([]pcs.Channel, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []pcs.Channel
+	for _, part := range strings.Split(s, ",") {
+		var link, sw int
+		if _, err := fmt.Sscanf(part, "%d:%d", &link, &sw); err != nil {
+			return nil, fmt.Errorf("bad fault %q (want link:switch): %v", part, err)
+		}
+		out = append(out, pcs.Channel{Link: topology.LinkID(link), Switch: sw})
+	}
+	return out, nil
+}
+
+// printCert renders a certificate for humans.
+func printCert(out io.Writer, c *verify.Certificate) {
+	fmt.Fprintf(out, "topology: %s\nrouting:  %s with %d VCs (escape subfunction: %s)\nprotocol: %s, k=%d wave switches",
+		c.Topology, c.Routing, c.NumVCs, c.Escape, c.Protocol, c.NumSwitches)
+	if c.NumFaults > 0 {
+		fmt.Fprintf(out, ", %d permanent faults", c.NumFaults)
+	}
+	fmt.Fprintln(out)
+
+	proof := func(kind string, p verify.Proof) {
+		verdict := "OK"
+		if !p.OK {
+			verdict = "FAILED"
+		}
+		fmt.Fprintf(out, "%-9s %s [%s] %s\n", kind+":", verdict, p.Method, p.Detail)
+		for _, line := range p.Counterexample {
+			fmt.Fprintf(out, "    %s\n", line)
+		}
+	}
+	proof("deadlock", c.Deadlock)
+	proof("livelock", c.Livelock)
+	proof("wait-for", c.WaitFor)
+	if c.Residual != nil {
+		proof("residual", *c.Residual)
+	}
+	for _, ob := range c.Obligations {
+		if !ob.OK {
+			fmt.Fprintf(out, "obligation %s: VIOLATED — %s\n", ob.Name, ob.Detail)
+		}
+	}
+	if c.Certified {
+		fmt.Fprintln(out, "VERDICT: CERTIFIED — deadlock- and livelock-free")
+	} else {
+		fmt.Fprintln(out, "VERDICT: NOT CERTIFIED — the configuration can deadlock or livelock")
+	}
 }

@@ -2,74 +2,123 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/verify"
 )
 
-func TestAcyclicVerdicts(t *testing.T) {
+func TestCertifiedVerdicts(t *testing.T) {
 	cases := [][]string{
 		{"-topology", "mesh", "-radix", "4x4", "-routing", "dor", "-vcs", "1"},
 		{"-topology", "torus", "-radix", "4x4", "-routing", "dor", "-vcs", "2"},
 		{"-topology", "torus", "-radix", "8x8", "-routing", "duato", "-vcs", "3"},
 		{"-topology", "mesh", "-radix", "4x4", "-routing", "duato", "-vcs", "2"},
 		{"-topology", "torus", "-radix", "4x4x4", "-routing", "dor", "-vcs", "2"},
+		{"-topology", "hypercube", "-dims", "4", "-routing", "duato", "-vcs", "2"},
+		{"-topology", "mesh", "-radix", "4x4", "-routing", "westfirst", "-vcs", "1", "-protocol", "wormhole"},
+		{"-topology", "mesh", "-radix", "3x3x3", "-routing", "negativefirst", "-vcs", "2"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
 		if err := run(args, &out); err != nil {
-			t.Fatalf("%v: %v", args, err)
+			t.Fatalf("%v: %v\n%s", args, err, out.String())
 		}
-		if !strings.Contains(out.String(), "VERDICT: ACYCLIC") {
-			t.Fatalf("%v: no acyclic verdict:\n%s", args, out.String())
-		}
-		if !strings.Contains(out.String(), "escape connectivity: OK") {
-			t.Fatalf("%v: connectivity not reported", args)
+		if !strings.Contains(out.String(), "VERDICT: CERTIFIED") {
+			t.Fatalf("%v: no certified verdict:\n%s", args, out.String())
 		}
 	}
 }
 
-func TestInvalidConfigurations(t *testing.T) {
+func TestUsageErrors(t *testing.T) {
 	cases := [][]string{
 		{"-routing", "dor", "-topology", "torus", "-vcs", "1"},   // dateline needs 2
 		{"-routing", "duato", "-topology", "torus", "-vcs", "2"}, // needs 3 on torus
 		{"-routing", "nope"},
 		{"-radix", "4xq"},
 		{"-radix", "1x4"},
+		{"-topology", "ring"},
+		{"-faults", "12;0"},
+		{"-protocol", "telepathy"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
-		if err := run(args, &out); err == nil {
+		err := run(args, &out)
+		if err == nil {
 			t.Fatalf("%v accepted", args)
+		}
+		// Usage errors must not be classified as proof failures (exit 1 vs 2).
+		if errNotCertified(err) {
+			t.Fatalf("%v: usage error classified as proof failure: %v", args, err)
 		}
 	}
 }
 
-func TestAllRoutingFamiliesVerdicts(t *testing.T) {
-	acyclic := [][]string{
-		{"-topology", "mesh", "-radix", "4x4", "-routing", "westfirst", "-vcs", "1"},
-		{"-topology", "mesh", "-radix", "4x4", "-routing", "negativefirst", "-vcs", "1"},
-		{"-topology", "mesh", "-radix", "3x3x3", "-routing", "negativefirst", "-vcs", "2"},
-	}
-	for _, args := range acyclic {
-		var out bytes.Buffer
-		if err := run(args, &out); err != nil {
-			t.Fatalf("%v: %v", args, err)
-		}
-		if !strings.Contains(out.String(), "ACYCLIC") {
-			t.Fatalf("%v: %s", args, out.String())
-		}
-	}
-	// The deliberately unsafe function gets the CYCLIC verdict with a
-	// printed cycle.
+func TestCyclicCounterexample(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-topology", "torus", "-radix", "4x4", "-routing", "dor-nodateline", "-vcs", "1"}, &out)
+	err := run([]string{"-topology", "torus", "-radix", "4x4",
+		"-routing", "dor-nodateline", "-vcs", "1", "-protocol", "wormhole"}, &out)
 	if err == nil {
-		t.Fatal("cyclic function did not error")
+		t.Fatal("cyclic function certified")
 	}
-	if !strings.Contains(out.String(), "VERDICT: CYCLIC") {
-		t.Fatalf("missing cyclic verdict:\n%s", out.String())
+	if !errNotCertified(err) {
+		t.Fatalf("proof failure classified as usage error: %v", err)
+	}
+	if !strings.Contains(out.String(), "VERDICT: NOT CERTIFIED") {
+		t.Fatalf("missing verdict:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "link") {
-		t.Fatal("cycle not printed")
+		t.Fatalf("counterexample cycle not printed:\n%s", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-topology", "torus", "-radix", "4x4",
+		"-routing", "duato", "-vcs", "3", "-json"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("%v: %v", args, err)
+	}
+	var cert verify.Certificate
+	if err := json.Unmarshal(out.Bytes(), &cert); err != nil {
+		t.Fatalf("output is not a JSON certificate: %v\n%s", err, out.String())
+	}
+	if !cert.Certified || cert.Routing != "duato" || cert.Deadlock.Method != "escape" {
+		t.Fatalf("unexpected certificate: %+v", cert)
+	}
+}
+
+// TestRoutingAll sweeps every registered function on one topology: the
+// sweep certifies what fits, skips functions whose VC minimum exceeds -vcs,
+// and fails overall because dor-nodateline is in the registry.
+func TestRoutingAll(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-topology", "torus", "-radix", "4x4",
+		"-routing", "all", "-vcs", "2", "-protocol", "wormhole"}, &out)
+	if err == nil {
+		t.Fatal("sweep including dor-nodateline certified")
+	}
+	if !errNotCertified(err) {
+		t.Fatalf("sweep failure classified as usage error: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "duato: skipped") {
+		t.Fatalf("duato (needs 3 VCs on a torus) not skipped:\n%s", s)
+	}
+	if !strings.Contains(s, "VERDICT: CERTIFIED") || !strings.Contains(s, "VERDICT: NOT CERTIFIED") {
+		t.Fatalf("sweep missing mixed verdicts:\n%s", s)
+	}
+
+	// On a mesh with a sufficient VC budget, every registered function
+	// certifies (dor-nodateline degenerates to plain DOR without wraparound).
+	out.Reset()
+	if err := run([]string{"-topology", "mesh", "-radix", "4x4",
+		"-routing", "all", "-vcs", "2", "-protocol", "wormhole"}, &out); err != nil {
+		t.Fatalf("mesh sweep: %v\n%s", err, out.String())
+	}
+	if got := strings.Count(out.String(), "VERDICT: CERTIFIED"); got != len(routing.Names()) {
+		t.Fatalf("mesh sweep certified %d/%d functions:\n%s", got, len(routing.Names()), out.String())
 	}
 }

@@ -38,6 +38,44 @@ var (
 	tableCache   = make(map[tableKey]*TableFunc)
 )
 
+// Channel dependency graphs are pure functions of the same shape key: BuildCDG
+// walks Nodes^2 injection pairs plus every reachable (channel, destination)
+// state and dedups edges through a per-build map — costly enough that the
+// verification endpoint must not pay it again for every repeated /v1/verify
+// call or matrix sweep over the same configuration. A built CDG is immutable
+// (the prover only reads adjacency), so sharing one instance is free.
+
+const cdgCacheMax = 32
+
+var (
+	cdgCacheMu sync.Mutex
+	cdgCache   = make(map[tableKey]*CDG)
+)
+
+// BuildCDGCached is BuildCDG with memoization on the same shape key as the
+// routing-table cache: (topology name, node count, function name, VC count).
+// Safe for concurrent callers; the bound resets the cache rather than letting
+// pathological shape churn grow it without limit.
+func BuildCDGCached(topo topology.Topology, fn Func) *CDG {
+	key := tableKey{
+		topoName: topo.Name(),
+		nodes:    topo.Nodes(),
+		fnName:   fn.Name(),
+		numVCs:   fn.NumVCs(),
+	}
+	cdgCacheMu.Lock()
+	defer cdgCacheMu.Unlock()
+	if g, ok := cdgCache[key]; ok {
+		return g
+	}
+	g := BuildCDG(topo, fn)
+	if len(cdgCache) >= cdgCacheMax {
+		clear(cdgCache)
+	}
+	cdgCache[key] = g
+	return g
+}
+
 // WithTableCached is WithTable with memoization: identically shaped requests
 // share one frozen table arena. Safe for concurrent callers.
 func WithTableCached(fn Func, topo topology.Topology, maxNodes int) Func {

@@ -25,6 +25,34 @@ func (g *CDG) vertexID(link topology.LinkID, vc int) int32 {
 	return int32(int(link)*g.numVCs + vc)
 }
 
+// VertexID exposes the (link, vc) -> vertex packing so higher layers (the
+// internal/verify wait-for graph) can splice protocol-level dependencies
+// into the channel vertices of this graph.
+func (g *CDG) VertexID(link topology.LinkID, vc int) int32 {
+	return g.vertexID(link, vc)
+}
+
+// NumVertices returns the dense vertex-space size (link slots x VCs).
+func (g *CDG) NumVertices() int { return len(g.adj) }
+
+// Out returns the dependency targets of vertex v. The returned slice is the
+// graph's own storage; callers must not mutate it.
+func (g *CDG) Out(v int32) []int32 { return g.adj[v] }
+
+// HasEdge reports whether the dependency from -> to exists. Counterexample
+// validation uses it to check that a reported cycle is a real cycle.
+func (g *CDG) HasEdge(from, to int32) bool {
+	if from < 0 || int(from) >= len(g.adj) {
+		return false
+	}
+	for _, w := range g.adj[from] {
+		if w == to {
+			return true
+		}
+	}
+	return false
+}
+
 // VertexName renders a vertex for diagnostics.
 func (g *CDG) VertexName(v int32, topo topology.Topology) string {
 	link := topology.LinkID(int(v) / g.numVCs)
@@ -163,6 +191,65 @@ func (g *CDG) FindCycle() []int32 {
 		}
 	}
 	return nil
+}
+
+// ShortestCycle returns a minimum-length dependency cycle as a vertex
+// sequence (first == last), or nil when the graph is acyclic. FindCycle is
+// the fast existence check; this is the diagnostic used to render the
+// smallest possible counterexample when a proof fails — a 4-vertex ring
+// cycle reads better than the 40-vertex tangle DFS happens to stumble into.
+// Cost is O(V*(V+E)) BFS passes, fine at verification sizes.
+func (g *CDG) ShortestCycle() []int32 {
+	n := len(g.adj)
+	dist := make([]int32, n)
+	parent := make([]int32, n)
+	var best []int32
+	for start := 0; start < n; start++ {
+		if len(g.adj[start]) == 0 {
+			continue
+		}
+		for i := range dist {
+			dist[i] = -1
+			parent[i] = -1
+		}
+		// BFS from start; the first edge w -> start closes a shortest cycle
+		// through start of length dist[w]+1.
+		queue := []int32{int32(start)}
+		dist[start] = 0
+	bfs:
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if best != nil && int(dist[v])+1 >= len(best) {
+				break // cannot improve on the incumbent
+			}
+			for _, w := range g.adj[v] {
+				if int(w) == start {
+					cyc := []int32{int32(start)}
+					for u := v; u != int32(start); u = parent[u] {
+						cyc = append(cyc, u)
+					}
+					cyc = append(cyc, int32(start))
+					// cyc is [start, v, parent(v), ..., x, start]; reverse the
+					// interior so the hops read in forward edge order.
+					for i, j := 1, len(cyc)-2; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					best = cyc
+					break bfs
+				}
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					parent[w] = v
+					queue = append(queue, w)
+				}
+			}
+		}
+		if best != nil && len(best) == 2 {
+			break // self-loop; nothing shorter exists
+		}
+	}
+	return best
 }
 
 // NumEdges returns the number of distinct dependencies.

@@ -56,6 +56,13 @@ type Func interface {
 	Escape() Func
 }
 
+// Names lists every registered routing function, in the order New accepts
+// them. Tools that sweep "all routing functions" (cmd/cdgcheck, the verify
+// matrix tests) iterate this instead of hardcoding the set.
+func Names() []string {
+	return []string{"dor", "duato", "westfirst", "negativefirst", "dor-nodateline"}
+}
+
 // New builds the routing function named by name ("dor", "duato" or
 // "westfirst") for the given topology with numVCs virtual channels.
 func New(name string, topo topology.Topology, numVCs int) (Func, error) {

@@ -12,7 +12,13 @@ import (
 //
 //	POST   /v1/jobs             submit a Spec → 201 + job view
 //	                            (429 + Retry-After when the queue is full,
-//	                             503 while draining, 400 on a bad spec)
+//	                             503 while draining, 400 on a bad spec,
+//	                             422 + certificate when the configuration
+//	                             fails static deadlock/livelock verification)
+//	POST   /v1/verify           certify a configuration without running it:
+//	                            200 + certificate when proven safe, 422 +
+//	                            certificate (with counterexample) when not,
+//	                            400 on a malformed configuration
 //	GET    /v1/jobs             list job views, newest activity first
 //	GET    /v1/jobs/{id}        one job view (result embedded when done)
 //	GET    /v1/jobs/{id}/result raw result bytes (409 until done)
@@ -23,6 +29,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
@@ -54,10 +61,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, err := s.Submit(spec)
+	var uncert *UncertifiableError
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.As(err, &uncert):
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"error": uncert.Error(), "certificate": uncert.Cert,
+		})
 	case errors.Is(err, ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 	case err != nil:
@@ -66,6 +78,42 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Location", "/v1/jobs/"+j.ID)
 		writeJSON(w, http.StatusCreated, j.view(false))
 	}
+}
+
+// handleVerify certifies a configuration without queueing anything: the
+// request reuses the job Spec's config shape ({"config": {...overrides...},
+// "faults": N}, merged over DefaultConfig), and the response is the full
+// proof certificate. A 422 carries the certificate too, counterexample
+// included, so a client can see the exact dependency cycle.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req struct {
+		Config *SimConfig `json:"config,omitempty"`
+		Faults int        `json:"faults,omitempty"`
+	}
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: "+err.Error())
+		return
+	}
+	if req.Faults < 0 {
+		httpError(w, http.StatusBadRequest, "faults must be >= 0")
+		return
+	}
+	sp := Spec{Kind: KindLoad, Config: req.Config, Faults: req.Faults}
+	cert, err := s.certifyConfig(sp.simConfig(), sp.Faults)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !cert.Certified {
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"error":       "configuration failed certification: " + cert.Failure(),
+			"certificate": cert,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, cert)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

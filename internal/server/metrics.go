@@ -24,6 +24,12 @@ type metrics struct {
 	circuitsTorn      atomic.Int64
 	setupRetries      atomic.Int64
 	wormholeFallbacks atomic.Int64
+
+	// Static-certification counters (POST /v1/verify and submit gating).
+	// Cache hits are counted separately and do not re-count the verdict.
+	verifyCertified atomic.Int64
+	verifyRejected  atomic.Int64
+	verifyCacheHits atomic.Int64
 }
 
 // WriteMetrics renders the Prometheus text exposition format (0.0.4).
@@ -75,6 +81,15 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		{"waved_wormhole_fallbacks_total", "counter",
 			"Messages that degraded to wormhole after setup failure.",
 			float64(s.metrics.wormholeFallbacks.Load())},
+		{"waved_verify_certified_total", "counter",
+			"Configurations statically certified deadlock- and livelock-free.",
+			float64(s.metrics.verifyCertified.Load())},
+		{"waved_verify_rejected_total", "counter",
+			"Configurations rejected with a proof counterexample.",
+			float64(s.metrics.verifyRejected.Load())},
+		{"waved_verify_cache_hits_total", "counter",
+			"Certification requests answered from the verdict cache.",
+			float64(s.metrics.verifyCacheHits.Load())},
 	}
 	for _, r := range rows {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n",

@@ -59,10 +59,11 @@ func (c Config) withDefaults() Config {
 // Server is the simulation-serving core: queue, worker pool, store and
 // metrics. Create with New; stop with Shutdown.
 type Server struct {
-	cfg     Config
-	queue   *jobQueue
-	store   *store
-	metrics metrics
+	cfg      Config
+	queue    *jobQueue
+	store    *store
+	metrics  metrics
+	verdicts verdictCache
 
 	nextID   atomic.Int64
 	draining atomic.Bool
@@ -96,6 +97,13 @@ func New(cfg Config) *Server {
 // ErrQueueFull (back off and retry) or ErrDraining.
 func (s *Server) Submit(spec Spec) (*Job, error) {
 	if err := s.normalize(&spec); err != nil {
+		return nil, err
+	}
+	// Load/closed jobs are certified deadlock- and livelock-free before they
+	// touch the queue; an unsafe configuration comes back as
+	// *UncertifiableError with the counterexample attached. Experiments
+	// certify via the verify package's experiment-matrix test instead.
+	if err := s.certifySpec(&spec); err != nil {
 		return nil, err
 	}
 	if s.draining.Load() {

@@ -45,6 +45,41 @@ type FaultScheduleConfig struct {
 // empty reports whether the schedule arms nothing.
 func (f FaultScheduleConfig) empty() bool { return f.Count == 0 && len(f.Events) == 0 }
 
+// PermanentFaultChannels resolves the wave channels the configuration's
+// fault schedule leaves permanently out of service — exactly the events
+// installFaultSchedule would register with Repair == 0, using the same seed
+// (Config.Seed + 2) and start-cycle defaults, so the static prover
+// (internal/verify) certifies precisely the residual network the run ends up
+// with. Transient faults (Repair > 0) are excluded: they heal, and the
+// retry/backoff machinery covers them dynamically.
+func (c Config) PermanentFaultChannels(topo topology.Topology) ([]pcs.Channel, error) {
+	fs := c.FaultSchedule
+	var out []pcs.Channel
+	if fs.Count > 0 && fs.Repair == 0 {
+		start := fs.Start
+		if start == 0 {
+			start = 1
+		}
+		seed := fs.Seed
+		if seed == 0 {
+			seed = c.Seed + 2
+		}
+		sch, err := fault.RandomSchedule(topo, c.NumSwitches, fs.Count, start, fs.Spacing, 0, seed)
+		if err != nil {
+			return nil, fmt.Errorf("wave: fault schedule: %w", err)
+		}
+		for _, ev := range sch.Events {
+			out = append(out, ev.Ch)
+		}
+	}
+	for _, ev := range fs.Events {
+		if ev.Repair == 0 {
+			out = append(out, pcs.Channel{Link: topology.LinkID(ev.Link), Switch: ev.Switch})
+		}
+	}
+	return out, nil
+}
+
 // installFaultSchedule resolves Config.FaultSchedule into scheduled fabric
 // events. Called once at construction, while the fabric clock is still 0.
 func (s *Simulator) installFaultSchedule() error {
