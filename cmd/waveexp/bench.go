@@ -34,6 +34,31 @@ type benchRun struct {
 	// activity-driven engine converts into speed. Zero (omitted) for
 	// full-scan runs, which do not track activity.
 	IdlePortFraction float64 `json:"idle_port_fraction,omitempty"`
+	// WorkersSelected is the worker count the engine actually ran with at
+	// the end of the run — equal to Workers when fixed, and the auto-tuner's
+	// choice when Workers is 0.
+	WorkersSelected int `json:"workers_selected"`
+}
+
+// multicoreReport records the parallel engine's scaling trajectory on this
+// host: the e7 stress run at workers 1/2/4 plus Workers=0 auto-tune. On a
+// single-CPU host the speedups hover near (or below) 1 — go_maxprocs and
+// num_cpu are recorded precisely so per-host numbers are comparable — but
+// the alloc-parity and stats-identity contracts are enforced everywhere.
+type multicoreReport struct {
+	GoMaxProcs int `json:"go_maxprocs"`
+	NumCPU     int `json:"num_cpu"`
+
+	Runs []benchRun `json:"runs"`
+	// AutoWorkersSelected is the Workers=0 run's final engine size.
+	AutoWorkersSelected int `json:"auto_workers_selected"`
+	// BestSpeedupOverSerial is the best parallel run's cycles/s over serial.
+	BestSpeedupOverSerial float64 `json:"best_speedup_over_serial"`
+	// AllocParity: every parallel run allocates no more per cycle than the
+	// serial engine (small tolerance for runtime noise) — the commit-ring
+	// design's target, enforced as a hard error.
+	AllocParity    bool `json:"alloc_parity"`
+	StatsIdentical bool `json:"stats_identical"`
 }
 
 // lowloadReport is the activity-driven engine's payoff measurement: the same
@@ -117,8 +142,9 @@ type benchReport struct {
 	StatsIdentical bool    `json:"stats_identical"`
 	Note           string  `json:"note,omitempty"`
 
-	Lowload *lowloadReport `json:"lowload,omitempty"`
-	Faulted *faultedReport `json:"faulted,omitempty"`
+	Lowload   *lowloadReport   `json:"lowload,omitempty"`
+	Faulted   *faultedReport   `json:"faulted,omitempty"`
+	Multicore *multicoreReport `json:"multicore,omitempty"`
 }
 
 // benchConfig is the E7-style 16x16 stress configuration: near-saturation
@@ -190,6 +216,7 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 		if idleSamples > 0 {
 			run.IdlePortFraction = idleSum / float64(idleSamples)
 		}
+		run.WorkersSelected = s.EngineWorkers()
 		return run, st, nil
 	}
 
@@ -204,6 +231,38 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 	parallel, parallelStats, err := measureOne("parallel", parallelCfg, w, warmup, measure)
 	if err != nil {
 		return err
+	}
+
+	// Multicore trajectory: the same stress run at workers 2 and Workers=0
+	// auto-tune, alongside the serial and workers=4 runs above.
+	w2Cfg := cfg
+	w2Cfg.Workers = 2
+	mw2, mw2Stats, err := measureOne("workers2", w2Cfg, w, warmup, measure)
+	if err != nil {
+		return err
+	}
+	autoCfg := cfg
+	autoCfg.Workers = 0
+	mauto, mautoStats, err := measureOne("auto", autoCfg, w, warmup, measure)
+	if err != nil {
+		return err
+	}
+	mc := &multicoreReport{
+		GoMaxProcs:          runtime.GOMAXPROCS(0),
+		NumCPU:              runtime.NumCPU(),
+		Runs:                []benchRun{serial, mw2, parallel, mauto},
+		AutoWorkersSelected: mauto.WorkersSelected,
+		StatsIdentical:      serialStats == mw2Stats && serialStats == parallelStats && serialStats == mautoStats,
+		AllocParity:         true,
+	}
+	const allocTolerance = 0.25 // absolute allocs/cycle of measurement noise
+	for _, r := range mc.Runs[1:] {
+		if r.AllocsPerCycle > serial.AllocsPerCycle+allocTolerance {
+			mc.AllocParity = false
+		}
+		if sp := r.CyclesPerSecond / serial.CyclesPerSecond; sp > mc.BestSpeedupOverSerial {
+			mc.BestSpeedupOverSerial = sp
+		}
 	}
 
 	// Low-load point: the activity-driven engine against the full-scan
@@ -304,6 +363,7 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 		StatsIdentical: serialStats == parallelStats,
 		Lowload:        low,
 		Faulted:        faulted,
+		Multicore:      mc,
 	}
 	if runtime.NumCPU() == 1 {
 		rep.Note = "single-CPU host: workers cannot overlap, so parallel speedup hovers near 1.0; stats_identical still certifies the determinism contract"
@@ -322,6 +382,19 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 	}
 	if faulted.FaultsInjected != int64(faulted.FaultCount) {
 		return fmt.Errorf("bench: %d of %d scheduled faults injected", faulted.FaultsInjected, faulted.FaultCount)
+	}
+	if !mc.StatsIdentical {
+		return fmt.Errorf("bench: multicore Stats diverged across worker counts — determinism bug")
+	}
+	if !mc.AllocParity {
+		return fmt.Errorf("bench: parallel engine allocates more per cycle than serial (serial %.3f; runs %v) — commit-ring regression",
+			serial.AllocsPerCycle, func() []float64 {
+				var a []float64
+				for _, r := range mc.Runs[1:] {
+					a = append(a, r.AllocsPerCycle)
+				}
+				return a
+			}())
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -345,5 +418,7 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 		faulted.FaultsInjected, faulted.CircuitsTorn, faulted.ProbesKilled,
 		faulted.SetupRetries, faulted.WormholeFallbacks, faulted.FallbackFraction,
 		faulted.StatsIdentical, faulted.FullScanIdentical)
+	fmt.Fprintf(out, "bench multicore: gomaxprocs %d, best speedup %.2fx, auto selected %d worker(s), alloc parity %v, stats identical %v\n",
+		mc.GoMaxProcs, mc.BestSpeedupOverSerial, mc.AutoWorkersSelected, mc.AllocParity, mc.StatsIdentical)
 	return nil
 }

@@ -40,7 +40,7 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "base RNG seed")
 		markdown = fs.Bool("markdown", false, "wrap tables in markdown code fences")
 		headline = fs.Int("headline", 0, "instead of tables: replicate the E1 headline gain across N seeds and report mean +/- 95% CI")
-		workers  = fs.Int("workers", 0, "cycle-engine workers per simulator (0/1 = serial; results identical for any value)")
+		workers  = fs.Int("workers", 0, "cycle-engine workers per simulator (0 = auto-tune, 1 = serial; results identical for any value)")
 		benchOut = fs.String("bench-json", "", "instead of tables: run the 16x16 engine stress benchmark and write machine-readable JSON to this path ('-' = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {

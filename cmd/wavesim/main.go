@@ -49,7 +49,7 @@ func run(args []string, out io.Writer) error {
 		policy    = fs.String("replace", "lru", "replacement policy: lru, lfu, random")
 		recovery  = fs.Int64("recovery", 0, "abort-and-retry deadlock recovery timeout in cycles (0 = off)")
 		seed      = fs.Uint64("seed", 1, "RNG seed (identical seeds => identical runs)")
-		workers   = fs.Int("workers", 1, "cycle-engine workers (results are identical for any value)")
+		workers   = fs.Int("workers", 0, "cycle-engine workers (0 = auto-tune to load and GOMAXPROCS, 1 = serial; results are identical for any value)")
 		fullScan  = fs.Bool("fullscan", false, "disable activity tracking: full port scans every cycle, no quiescence fast-forward (oracle mode; results are identical)")
 
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -241,6 +241,11 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "topology        %s %s, protocol %s (routing %s, w=%d, k=%d, MB-%d, %gx clock)\n",
 		*topoKind, *radix, res.Protocol, *routing, *vcs, *switches, *misroutes, *mult)
+	fmt.Fprintf(out, "engine          %d worker(s)", sim.EngineWorkers())
+	if *workers == 0 {
+		fmt.Fprintf(out, " (auto-tuned)")
+	}
+	fmt.Fprintln(out)
 	fmt.Fprintf(out, "workload        %s, load %.3f flits/node/cycle, %d-flit messages", *pattern, *load, *msgLen)
 	if *wset > 0 {
 		fmt.Fprintf(out, ", working set %d @ %.0f%% reuse", *wset, *reuse*100)

@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/circuit"
 	"repro/internal/engine"
@@ -95,9 +96,13 @@ type Params struct {
 	// Seed drives every random decision in the fabric.
 	Seed uint64
 	// Workers sets the worker count of the parallel cycle engine
-	// (internal/engine). 0 or 1 runs the original serial cycle; higher values
-	// run each cycle's compute half concurrently while keeping results
-	// bit-identical to the serial engine for the same seed.
+	// (internal/engine). 0 means auto: the fabric measures per-cycle compute
+	// work during warmup and upgrades to a pool sized to the load and
+	// GOMAXPROCS, staying serial below the break-even (see autoTune* below).
+	// 1 forces the serial cycle; higher values run each cycle's compute half
+	// concurrently on a fixed-size pool. Results are bit-identical to the
+	// serial engine for the same seed at every setting — the worker count
+	// changes wall time only. Negative values are rejected by New.
 	Workers int
 }
 
@@ -126,8 +131,41 @@ func (p Params) validate() error {
 	if p.CacheCapacity < 1 {
 		return fmt.Errorf("core: CacheCapacity must be >= 1, got %d", p.CacheCapacity)
 	}
+	if p.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0 (0 = auto-tune, 1 = serial, N = fixed pool), got %d", p.Workers)
+	}
 	return nil
 }
+
+// Auto-tuner calibration (Workers == 0). The decision must be deterministic
+// for a fixed seed and config — so it is driven entirely by
+// simulation-deterministic quantities (active wormhole ports, live PCS
+// probes) plus host capacity (GOMAXPROCS), never by wall-clock measurement.
+// The selected worker count changes wall time only, never results, so the
+// choice may differ between hosts without breaking response byte-identity.
+const (
+	// autoTuneWindow is how many non-quiescent cycles the fabric observes
+	// before deciding; autoTuneSettle leading cycles are excluded from the
+	// average so the cold-start ramp (an empty network filling up) does not
+	// drag the estimate below steady state.
+	autoTuneWindow = 512
+	autoTuneSettle = 256
+	// autoBreakEvenWork is the busy-port-equivalents of per-cycle work each
+	// additional worker must bring to beat the pool's two phase barriers.
+	autoBreakEvenWork = 192
+	// probeWorkWeight converts live PCS probes into busy-port-equivalents: a
+	// probe decision (output enumeration, misroute ranking) costs roughly an
+	// order of magnitude more than one port's allocate step.
+	probeWorkWeight = 8
+	// maxAutoWorkers caps the automatic choice; explicit Workers values are
+	// not capped.
+	maxAutoWorkers = 8
+	// perCycleMinWork is the hybrid fallback threshold: an activity-tracked
+	// parallel fabric runs any cycle with fewer busy-port-equivalents than
+	// perCycleMinWork×workers through the serial path, skipping the barriers
+	// (the two paths are bit-identical, so this is pure wall-time routing).
+	perCycleMinWork = 64
+)
 
 // BufUnlimited marks a circuit whose endpoint buffers are pre-sized for the
 // longest message of its set (CARP) — re-allocation never triggers.
@@ -169,6 +207,20 @@ type Fabric struct {
 	pool   *engine.Pool
 	now    int64
 
+	// Persistent parallel-phase closures (allocated once in enableParallel so
+	// Cycle never allocates); engineWorkers is the worker count of whatever
+	// engine is currently driving cycles (1 = serial).
+	whPhase       func(worker, lo, hi int)
+	pcsPhase      func(worker, lo, hi int)
+	engineWorkers int
+
+	// Auto-tuner state (Workers == 0): autoTune is true until the decision
+	// window closes, tuneCycles counts observed non-quiescent cycles and
+	// tuneWork accumulates their busy-port-equivalents.
+	autoTune   bool
+	tuneCycles int
+	tuneWork   int64
+
 	// fastForward enables the quiescent-cycle skip in Cycle (off in the
 	// DisableActivityTracking oracle mode).
 	fastForward bool
@@ -206,19 +258,26 @@ func New(topo topology.Topology, prm Params, hooks Hooks) (*Fabric, error) {
 		// the table build repeatedly.
 		fn = routing.WithTableCached(fn, topo, routing.DefaultTableMaxNodes)
 	}
-	workers := prm.Workers
-	if workers < 1 {
-		workers = 1
+	// Event-queue sharding: the shard count never affects pop order (PopDue
+	// merges by (at, seq)), so auto mode fixes it at maxAutoWorkers — the
+	// later worker decision cannot change event semantics even in principle.
+	shards := prm.Workers
+	if prm.Workers == 0 {
+		shards = maxAutoWorkers
+	}
+	if shards < 1 {
+		shards = 1
 	}
 	f := &Fabric{
 		Topo:           topo,
 		Prm:            prm,
 		hooks:          hooks,
 		rng:            sim.NewRNG(prm.Seed),
-		events:         engine.NewShardedEvents(workers),
+		events:         engine.NewShardedEvents(shards),
 		transferInject: make(map[flit.MsgID]int64),
 		WaveLinkFlits:  make([]int64, topo.NumLinkSlots()),
 		fastForward:    !prm.DisableActivityTracking,
+		engineWorkers:  1,
 	}
 	f.WH, err = wormhole.New(topo, fn, wormhole.Params{NumVCs: prm.NumVCs, BufDepth: prm.BufDepth, CreditDelay: prm.CreditDelay, RouteDelay: prm.RouteDelay, DisableActivityTracking: prm.DisableActivityTracking}, wormhole.Hooks{
 		Delivered: func(m flit.Message, now int64) {
@@ -250,12 +309,71 @@ func New(topo topology.Topology, prm Params, hooks Hooks) (*Fabric, error) {
 		}
 		f.caches[i] = circuit.NewCache(prm.CacheCapacity, pol)
 	}
-	if workers > 1 {
-		f.pool = engine.NewPool(workers)
-		f.WH.SetParallel(workers)
-		f.PCS.SetParallel(workers)
+	switch {
+	case prm.Workers > 1:
+		f.enableParallel(prm.Workers)
+	case prm.Workers == 0 && !prm.DisableActivityTracking:
+		// Auto: observe a warmup window, then pick. The full-scan oracle mode
+		// is excluded — it exists for cross-checks, and without activity
+		// tracking there is no cheap per-cycle work estimate to tune on.
+		f.autoTune = true
 	}
 	return f, nil
+}
+
+// enableParallel switches the fabric onto a worker pool of the given size.
+// Called at construction for explicit Workers > 1, or mid-run by the
+// auto-tuner — the serial and parallel cycle paths are bit-identical, so the
+// switch point is invisible in the results.
+func (f *Fabric) enableParallel(workers int) {
+	f.pool = engine.NewPool(workers)
+	f.WH.SetParallel(workers)
+	f.PCS.SetParallel(workers)
+	f.engineWorkers = workers
+	f.whPhase = func(worker, lo, hi int) {
+		f.WH.PrepareRange(worker, lo, hi)
+	}
+	f.pcsPhase = func(worker, lo, hi int) {
+		f.PCS.PrepareRange(f.now, worker, lo, hi)
+	}
+}
+
+// EngineWorkers returns the worker count of the engine currently driving
+// cycles: 1 while serial (including the auto-tuner's observation window),
+// the pool size once parallel. Deliberately not part of wave.Stats — the
+// selection is host-dependent while Stats are bit-identical across hosts
+// and worker counts.
+func (f *Fabric) EngineWorkers() int { return f.engineWorkers }
+
+// cycleWork estimates this cycle's compute cost in busy-port-equivalents
+// from simulation-deterministic state.
+func (f *Fabric) cycleWork() int64 {
+	return int64(f.WH.ActivePorts() + probeWorkWeight*f.PCS.ActiveProbes())
+}
+
+// observeTune accumulates the auto-tuner's warmup window and, once it
+// closes, sizes the pool (or decides to stay serial forever).
+func (f *Fabric) observeTune() {
+	f.tuneCycles++
+	if f.tuneCycles <= autoTuneSettle {
+		return
+	}
+	f.tuneWork += f.cycleWork()
+	if f.tuneCycles < autoTuneWindow {
+		return
+	}
+	f.autoTune = false
+	avg := f.tuneWork / int64(autoTuneWindow-autoTuneSettle)
+	workers := int(avg / autoBreakEvenWork)
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	if workers > maxAutoWorkers {
+		workers = maxAutoWorkers
+	}
+	if workers >= 2 {
+		f.enableParallel(workers)
+	}
 }
 
 // Close releases the worker pool. Every parallel fabric must be closed when
@@ -304,21 +422,33 @@ func (f *Fabric) Cycle(now int64) {
 		f.PCS.SkipTo(now)
 		return
 	}
-	if f.pool == nil {
+	if f.autoTune {
+		f.observeTune()
+	}
+	if f.pool == nil || !f.parallelWorthIt() {
 		f.WH.Cycle(now)
 		f.PCS.Cycle(now)
 		return
 	}
 	f.WH.BeginCycle(now)
-	f.pool.Run(f.WH.NumPorts(), 256, func(worker, lo, hi int) {
-		f.WH.PrepareRange(worker, lo, hi)
-	})
-	probes := f.PCS.PrepareCount()
-	f.pool.Run(probes, 8, func(worker, lo, hi int) {
-		f.PCS.PrepareRange(now, worker, lo, hi)
-	})
+	f.pool.Run(f.WH.NumPorts(), 256, f.whPhase)
+	f.pool.Run(f.PCS.PrepareCount(), 8, f.pcsPhase)
 	f.WH.CommitCycle(now)
 	f.PCS.CommitCycle(now)
+}
+
+// parallelWorthIt is the per-cycle half of the tuning story: even a
+// well-sized pool loses on cycles with little ready work, where the two
+// phase barriers dwarf the compute. Activity-tracked fabrics route such
+// cycles through the serial path — bit-identical by the engine contract, so
+// this is pure wall-time routing on simulation-deterministic state. Without
+// activity tracking (the oracle mode) there is no cheap work estimate and a
+// configured pool always runs, keeping the oracle's parallel coverage.
+func (f *Fabric) parallelWorthIt() bool {
+	if !f.fastForward {
+		return true
+	}
+	return f.cycleWork() >= perCycleMinWork*int64(f.pool.Workers())
 }
 
 // Quiescent reports whether both engines are at rest: no wormhole message

@@ -10,11 +10,14 @@
 // changing a single observable bit:
 //
 //   - Pool: a fixed worker pool executing the *compute* half of a cycle over
-//     a sharded index space with one barrier per phase. Compute work is pure
-//     with respect to shared state — each item reads the cycle-start snapshot
-//     and writes only its own scratch — so chunks may be dealt to workers
-//     dynamically (atomic counter) and the result is still independent of
-//     both the worker count and the scheduling order.
+//     a statically sharded index space with one barrier per phase: worker w
+//     owns the contiguous range [w*n/S, (w+1)*n/S). Compute work is pure with
+//     respect to shared state — each item reads the cycle-start snapshot and
+//     writes only its own scratch — so the result is independent of the
+//     worker count; the static split additionally gives each worker the same
+//     cache-resident range every cycle and lets per-worker scratch appended
+//     in scan order concatenate into a globally ordered sequence (the
+//     commit-ring contract the wormhole engine's replay depends on).
 //
 //   - ShardedEvents: per-shard scheduled-event queues (typed min-heaps, no
 //     boxing) replacing the fabric's former single global heap. Events are

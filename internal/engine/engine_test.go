@@ -1,13 +1,14 @@
 package engine
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/sim"
 )
 
-// TestPoolCoversEveryIndexOnce checks the chunk dealer visits each index
+// TestPoolCoversEveryIndexOnce checks the static sharder visits each index
 // exactly once, for several worker counts and grains.
 func TestPoolCoversEveryIndexOnce(t *testing.T) {
 	for _, workers := range []int{1, 2, 3, 4, 8} {
@@ -97,6 +98,67 @@ func TestPoolRepeatedRuns(t *testing.T) {
 		if v != 2000 {
 			t.Fatalf("slot %d = %d after 2000 cycles, want 2000", i, v)
 		}
+	}
+}
+
+// TestPoolStaticContiguousShards pins the sharding contract the wormhole
+// commit rings depend on: each worker receives exactly one contiguous range
+// per Run, and ranges ascend with the worker index — so per-worker buffers
+// filled in index order concatenate into a globally ascending sequence.
+func TestPoolStaticContiguousShards(t *testing.T) {
+	for _, workers := range []int{2, 3, 4, 8} {
+		for _, n := range []int{17, 64, 1000, 4096} {
+			p := NewPool(workers)
+			type rng struct {
+				lo, hi int
+				calls  int
+			}
+			got := make([]rng, workers)
+			var mu sync.Mutex
+			p.Run(n, 1, func(w, lo, hi int) {
+				mu.Lock()
+				got[w] = rng{lo, hi, got[w].calls + 1}
+				mu.Unlock()
+			})
+			p.Close()
+			next := 0
+			for w := 0; w < workers; w++ {
+				if got[w].calls == 0 {
+					continue
+				}
+				if got[w].calls != 1 {
+					t.Fatalf("workers=%d n=%d: worker %d called %d times, want 1", workers, n, w, got[w].calls)
+				}
+				if got[w].lo != next {
+					t.Fatalf("workers=%d n=%d: worker %d range [%d,%d) not contiguous after %d", workers, n, w, got[w].lo, got[w].hi, next)
+				}
+				next = got[w].hi
+			}
+			if next != n {
+				t.Fatalf("workers=%d n=%d: ranges end at %d", workers, n, next)
+			}
+		}
+	}
+}
+
+// TestPoolZeroAllocRun proves the phase barrier itself allocates nothing:
+// the phase descriptor is embedded in the Pool and reused, so the only
+// allocations on the parallel cycle path are the caller's own.
+func TestPoolZeroAllocRun(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	sink := make([]int64, 4096)
+	fn := func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sink[i]++
+		}
+	}
+	p.Run(len(sink), 16, fn) // warm up
+	avg := testing.AllocsPerRun(200, func() {
+		p.Run(len(sink), 16, fn)
+	})
+	if avg != 0 {
+		t.Fatalf("Pool.Run allocates %v per call, want 0", avg)
 	}
 }
 

@@ -1,7 +1,5 @@
 package engine
 
-import "sort"
-
 // Event is one scheduled fabric action (circuit delivery, window ack, ...).
 type Event struct {
 	At  int64
@@ -149,12 +147,24 @@ func (s *ShardedEvents) PopDue(now int64) []*Event {
 		}
 	}
 	if len(s.shards) > 1 && len(s.due) > 1 {
-		sort.Slice(s.due, func(i, j int) bool {
-			if s.due[i].At != s.due[j].At {
-				return s.due[i].At < s.due[j].At
+		// The due list is a concatenation of per-shard ascending runs, so an
+		// insertion sort is near-linear here — and unlike sort.Slice it does
+		// not allocate (no closure, no interface conversion), which keeps the
+		// multi-shard store at allocs/cycle parity with a single global heap.
+		due := s.due
+		for i := 1; i < len(due); i++ {
+			for j := i; j > 0 && eventBefore(due[j], due[j-1]); j-- {
+				due[j], due[j-1] = due[j-1], due[j]
 			}
-			return s.due[i].Seq < s.due[j].Seq
-		})
+		}
 	}
 	return s.due
+}
+
+// eventBefore orders events by (At, Seq) — the pop order of a global heap.
+func eventBefore(a, b *Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.Seq < b.Seq
 }

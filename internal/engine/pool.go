@@ -2,43 +2,40 @@ package engine
 
 import (
 	"sync"
-	"sync/atomic"
 )
-
-// job is one barrier-delimited parallel phase: the index space [0, n) dealt
-// out in chunks of `grain` via an atomic cursor.
-type job struct {
-	fn    func(worker, lo, hi int)
-	n     int
-	grain int
-	next  atomic.Int64
-	wg    sync.WaitGroup
-}
-
-// work consumes chunks until the cursor passes n.
-func (j *job) work(worker int) {
-	g := int64(j.grain)
-	for {
-		lo := j.next.Add(g) - g
-		if lo >= int64(j.n) {
-			return
-		}
-		hi := int(lo) + j.grain
-		if hi > j.n {
-			hi = j.n
-		}
-		j.fn(worker, int(lo), hi)
-	}
-}
 
 // Pool is a fixed set of workers executing compute phases. The calling
 // goroutine acts as worker 0, so a Pool of W workers owns W-1 goroutines;
 // they park between phases and exit on Close. A nil Pool and a 1-worker Pool
 // both degrade to inline serial execution.
+//
+// Sharding is static and contiguous: a phase over [0, n) with S active
+// shards hands worker w exactly the range [w*n/S, (w+1)*n/S). Two properties
+// follow that the commit protocols downstream rely on:
+//
+//   - each worker touches one contiguous slice of the index space, so
+//     per-worker scratch arenas never interleave (no false sharing from
+//     neighbouring items), and anything a worker appends in index order is
+//     globally ordered once the workers' buffers are concatenated in worker
+//     order (the wormhole commit rings exploit exactly this);
+//   - the split depends only on (n, grain, worker count) — never on timing —
+//     so a phase's worker→range map is deterministic.
+//
+// The phase descriptor lives on the Pool itself and is reused across Run
+// calls: a steady-state Run performs no heap allocations (guarded by
+// TestPoolZeroAllocRun).
 type Pool struct {
 	workers int
-	helpers []chan *job
+	helpers []chan struct{}
 	close   sync.Once
+
+	// Current phase. Run writes these before signalling the helpers and the
+	// barrier (wg) completes before they are written again, so helpers read
+	// them race-free.
+	fn     func(worker, lo, hi int)
+	n      int
+	shards int
+	wg     sync.WaitGroup
 }
 
 // NewPool creates a pool of `workers` workers (minimum 1).
@@ -48,12 +45,12 @@ func NewPool(workers int) *Pool {
 	}
 	p := &Pool{workers: workers}
 	for w := 1; w < workers; w++ {
-		ch := make(chan *job, 1)
+		ch := make(chan struct{}, 1)
 		p.helpers = append(p.helpers, ch)
-		go func(worker int, ch chan *job) {
-			for j := range ch {
-				j.work(worker)
-				j.wg.Done()
+		go func(worker int, ch chan struct{}) {
+			for range ch {
+				p.runShard(worker)
+				p.wg.Done()
 			}
 		}(w, ch)
 	}
@@ -68,12 +65,29 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
-// Run executes fn over the index space [0, n) split into chunks of `grain`
-// and returns after every index has been processed (the phase barrier).
+// runShard executes the current phase's contiguous range owned by `worker`.
+// Workers beyond the active shard count own the empty range.
+func (p *Pool) runShard(worker int) {
+	if worker >= p.shards {
+		return
+	}
+	lo := worker * p.n / p.shards
+	hi := (worker + 1) * p.n / p.shards
+	if lo < hi {
+		p.fn(worker, lo, hi)
+	}
+}
+
+// Run executes fn over the index space [0, n) and returns after every index
+// has been processed (the phase barrier). The space is split into
+// min(Workers, n/grain) contiguous shards — `grain` is the minimum items per
+// shard worth waking a worker for — and worker w receives the single range
+// [w*n/S, (w+1)*n/S), in ascending worker order.
+//
 // fn(worker, lo, hi) must treat shared simulation state as read-only and
 // write only scratch owned by the items [lo, hi) or by `worker`
 // (0 <= worker < Workers()); under that contract the results are identical
-// for every worker count and chunk schedule.
+// for every worker count.
 func (p *Pool) Run(n, grain int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
@@ -81,17 +95,22 @@ func (p *Pool) Run(n, grain int, fn func(worker, lo, hi int)) {
 	if grain < 1 {
 		grain = 1
 	}
-	if p == nil || p.workers == 1 || n <= grain {
+	shards := p.Workers()
+	if max := n / grain; shards > max {
+		shards = max
+	}
+	if shards <= 1 {
 		fn(0, 0, n)
 		return
 	}
-	j := &job{fn: fn, n: n, grain: grain}
-	j.wg.Add(len(p.helpers))
-	for _, ch := range p.helpers {
-		ch <- j
+	p.fn, p.n, p.shards = fn, n, shards
+	p.wg.Add(shards - 1)
+	for w := 1; w < shards; w++ {
+		p.helpers[w-1] <- struct{}{}
 	}
-	j.work(0)
-	j.wg.Wait()
+	p.runShard(0)
+	p.wg.Wait()
+	p.fn = nil
 }
 
 // Close releases the helper goroutines. Idempotent; Run must not be called

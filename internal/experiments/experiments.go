@@ -30,8 +30,9 @@ type Params struct {
 	// Seed is the base RNG seed.
 	Seed uint64
 	// Workers is the per-simulator cycle-engine worker count (see
-	// wave.Config.Workers); 0 or 1 runs each simulator serially. Results are
-	// identical either way — the parallel engine is bit-deterministic.
+	// wave.Config.Workers); 0 auto-tunes each simulator to its load and
+	// GOMAXPROCS, 1 forces serial. Results are identical at every setting —
+	// the parallel engine is bit-deterministic.
 	Workers int
 
 	// OnPoint, when non-nil, is called after each completed sweep point

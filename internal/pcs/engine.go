@@ -971,11 +971,15 @@ type outOption struct {
 
 // outScratch holds the reusable buffers one outputs() caller needs; the
 // parallel compute phase owns one per worker so enumerations never contend.
+// The pad keeps neighbouring workers' scratch headers on separate cache
+// lines: the four slice headers are 96 bytes and are rewritten on every
+// enumeration, so two adjacent unpadded entries would false-share a line.
 type outScratch struct {
 	offs []int
 	mags []int
 	mis  []outOption
 	req  []outOption
+	_    [128 - 96]byte
 }
 
 // outputs is pure with respect to shared mutable state: it reads only the

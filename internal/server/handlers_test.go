@@ -103,6 +103,9 @@ func TestHandlers(t *testing.T) {
 		{"load without workload", "POST", "/v1/jobs", `{"kind":"load"}`, 400, "workload"},
 		{"closed without workload", "POST", "/v1/jobs", `{"kind":"closed"}`, 400, "workload"},
 		{"unknown experiment", "POST", "/v1/jobs", `{"kind":"experiment","experiment":"e99"}`, 400, "unknown experiment"},
+		{"negative workers", "POST", "/v1/jobs",
+			`{"kind":"load","config":{"workers":-3},"load":{"pattern":"uniform","load":0.05,"fixedlength":16}}`,
+			400, "auto-tunes the engine"},
 		{"get unknown job", "GET", "/v1/jobs/zzz", "", 404, "no such job"},
 		{"result unknown job", "GET", "/v1/jobs/zzz/result", "", 404, "no such job"},
 		{"stream unknown job", "GET", "/v1/jobs/zzz/stream", "", 404, "no such job"},

@@ -98,6 +98,11 @@ func (s *Server) normalize(sp *Spec) error {
 	if sp.IntervalCycles == 0 {
 		sp.IntervalCycles = s.cfg.DefaultInterval
 	}
+	if cfg := sp.simConfig(); cfg.Workers < 0 {
+		// Reject at submit time, not as a late job failure: negative worker
+		// counts can never be valid (0 = auto-tune, 1 = serial, N = fixed).
+		return fmt.Errorf("config.workers must be >= 0 (0 auto-tunes the engine), got %d", cfg.Workers)
+	}
 	switch sp.Kind {
 	case KindLoad:
 		if sp.Load == nil {

@@ -25,6 +25,7 @@ package wormhole
 
 import (
 	"fmt"
+	mathbits "math/bits"
 
 	"repro/internal/buffer"
 	"repro/internal/flit"
@@ -425,7 +426,32 @@ func (e *Engine) drainCredits(now int64) {
 func (e *Engine) allocate(now int64) {
 	total := e.numLinkInputs() + len(e.inj)
 	if e.trackActivity {
-		forEachSet(e.active, total, e.rr%total, e.allocatePort)
+		// Rotated word scan over the active set, inlined (no per-port
+		// function-value dispatch): segment [start, total) then [0, start),
+		// peeling set bits with TrailingZeros64. Allocation changes port
+		// phases but never active-set membership (vcRouting and vcActive are
+		// both active), so the copied-word iteration is exact.
+		start := e.rr % total
+		from, to := start, total
+		for seg := 0; seg < 2; seg++ {
+			if from < to {
+				firstW, lastW := from>>6, (to-1)>>6
+				for w := firstW; w <= lastW; w++ {
+					word := e.active[w]
+					if w == firstW {
+						word &= ^uint64(0) << uint(from&63)
+					}
+					if w == lastW && to&63 != 0 {
+						word &= 1<<uint(to&63) - 1
+					}
+					for word != 0 {
+						e.allocatePort(w<<6 + mathbits.TrailingZeros64(word))
+						word &= word - 1
+					}
+				}
+			}
+			from, to = 0, start
+		}
 		return
 	}
 	for i := 0; i < total; i++ {
@@ -527,10 +553,31 @@ func (e *Engine) switchAndTraverse(now int64) {
 	total := e.numLinkInputs() + len(e.inj)
 	if e.trackActivity {
 		// Traversal can deactivate only the port it is visiting (a tail flit
-		// leaving resets that port alone), and forEachSet has already loaded
+		// leaving resets that port alone), and the scan has already copied
 		// that port's bitmap word, so mutating the active set mid-scan is
 		// safe: no other port's membership changes under the iteration.
-		forEachSet(e.active, total, e.rr%total, func(port int) { e.traversePort(port, now) })
+		// Inlined rotated word scan, as in allocate.
+		start := e.rr % total
+		from, to := start, total
+		for seg := 0; seg < 2; seg++ {
+			if from < to {
+				firstW, lastW := from>>6, (to-1)>>6
+				for w := firstW; w <= lastW; w++ {
+					word := e.active[w]
+					if w == firstW {
+						word &= ^uint64(0) << uint(from&63)
+					}
+					if w == lastW && to&63 != 0 {
+						word &= 1<<uint(to&63) - 1
+					}
+					for word != 0 {
+						e.traversePort(w<<6+mathbits.TrailingZeros64(word), now)
+						word &= word - 1
+					}
+				}
+			}
+			from, to = 0, start
+		}
 		return
 	}
 	for i := 0; i < total; i++ {

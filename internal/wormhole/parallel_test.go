@@ -9,17 +9,17 @@ import (
 )
 
 // parallelCycle drives one cycle through the split entry points the fabric
-// uses, calling PrepareRange in chunks the way a worker pool would.
-func parallelCycle(e *Engine, now int64, chunk int) {
+// uses, mirroring the pool's static sharding contract: each pretend worker
+// receives exactly one contiguous range, ranges ascending with the worker
+// index (the commit rings rely on that ordering; see parallel.go).
+func parallelCycle(e *Engine, now int64, shards int) {
 	e.BeginCycle(now)
 	total := e.NumPorts()
-	for lo := 0; lo < total; lo += chunk {
-		hi := lo + chunk
-		if hi > total {
-			hi = total
-		}
-		// Alternate the pretend worker to exercise the per-worker bitmaps.
-		e.PrepareRange((lo/chunk)%e.par.workers, lo, hi)
+	if shards > e.par.workers {
+		shards = e.par.workers
+	}
+	for w := 0; w < shards; w++ {
+		e.PrepareRange(w, w*total/shards, (w+1)*total/shards)
 	}
 	e.CommitCycle(now)
 }
@@ -60,7 +60,7 @@ func TestParallelCycleMatchesSerial(t *testing.T) {
 					}
 				}
 				ser.eng.Cycle(cyc)
-				parallelCycle(par.eng, cyc, 7)
+				parallelCycle(par.eng, cyc, 3)
 
 				if ser.eng.FlitsMoved != par.eng.FlitsMoved ||
 					ser.eng.FlitsDelivered != par.eng.FlitsDelivered ||

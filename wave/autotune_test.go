@@ -1,0 +1,133 @@
+package wave
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// autotuneCase runs one Workers=0 load and returns the worker count the
+// engine settled on plus the final Stats.
+func autotuneRun(t *testing.T, cfg Config, w Workload, warmup, measure int64) (int, Stats) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.EngineWorkers(); got != 1 {
+		t.Fatalf("fresh simulator EngineWorkers = %d, want 1 (serial until the window closes)", got)
+	}
+	if _, err := s.RunLoad(w, warmup, measure); err != nil {
+		t.Fatal(err)
+	}
+	return s.EngineWorkers(), s.Stats()
+}
+
+// TestAutoTunerSelection is the fallback table test: Workers=0 must keep
+// small, lightly loaded fabrics on the serial engine (the barriers would
+// only cost), upgrade a big saturated fabric to a pool when cores are
+// available, and decide deterministically for a fixed seed/config — the
+// property that keeps waved responses byte-identical, since the selection
+// never leaks into Stats.
+func TestAutoTunerSelection(t *testing.T) {
+	// The decision is capped by GOMAXPROCS; pin it so the table holds on the
+	// single-CPU CI host too.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	small := DefaultConfig()
+	small.Topology = TopologyConfig{Kind: "torus", Radix: []int{4, 4}}
+	small.Seed = 7
+
+	big := DefaultConfig()
+	big.Topology = TopologyConfig{Kind: "torus", Radix: []int{16, 16}}
+	big.CacheCapacity = 2
+	big.Seed = 7
+
+	cases := []struct {
+		name        string
+		cfg         Config
+		w           Workload
+		wantSerial  bool // else: want >= 2 workers
+		checkSerial bool // also compare Stats against an explicit Workers=1 run
+	}{
+		{
+			name:       "small-low-load-stays-serial",
+			cfg:        small,
+			w:          Workload{Pattern: "uniform", Load: 0.02, FixedLength: 8},
+			wantSerial: true,
+		},
+		{
+			name:        "big-saturated-goes-parallel",
+			cfg:         big,
+			w:           Workload{Pattern: "hotspot", Load: 0.25, FixedLength: 32},
+			wantSerial:  false,
+			checkSerial: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sel, stats := autotuneRun(t, tc.cfg, tc.w, 1000, 2000)
+			if tc.wantSerial && sel != 1 {
+				t.Errorf("selected %d workers, want serial", sel)
+			}
+			if !tc.wantSerial && sel < 2 {
+				t.Errorf("selected %d workers, want >= 2", sel)
+			}
+			// Deterministic: an identical run selects the identical count and
+			// produces identical stats.
+			sel2, stats2 := autotuneRun(t, tc.cfg, tc.w, 1000, 2000)
+			if sel2 != sel {
+				t.Errorf("selection not deterministic: %d then %d", sel, sel2)
+			}
+			if stats2 != stats {
+				t.Errorf("auto-tuned stats not reproducible across runs")
+			}
+			if tc.checkSerial {
+				// The mid-run serial→parallel upgrade must be invisible in the
+				// results: identical to a forced-serial run of the same config.
+				scfg := tc.cfg
+				scfg.Workers = 1
+				s, err := New(scfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s.Close()
+				if _, err := s.RunLoad(tc.w, 1000, 2000); err != nil {
+					t.Fatal(err)
+				}
+				if got := s.Stats(); got != stats {
+					t.Errorf("auto-tuned stats diverge from Workers=1:\nauto:   %+v\nserial: %+v", stats, got)
+				}
+			}
+		})
+	}
+}
+
+// TestAutoTunerOracleModeStaysSerial pins the exclusion: the full-scan
+// oracle mode has no per-cycle work estimate, so Workers=0 must not arm the
+// tuner there.
+func TestAutoTunerOracleModeStaysSerial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	cfg := DefaultConfig()
+	cfg.Topology = TopologyConfig{Kind: "torus", Radix: []int{16, 16}}
+	cfg.CacheCapacity = 2
+	cfg.DisableActivityTracking = true
+	sel, _ := autotuneRun(t, cfg, Workload{Pattern: "hotspot", Load: 0.25, FixedLength: 32}, 600, 600)
+	if sel != 1 {
+		t.Errorf("oracle mode selected %d workers, want 1", sel)
+	}
+}
+
+// TestNegativeWorkersRejected covers the config-validation satellite:
+// negative worker counts must fail construction with a descriptive error,
+// not flow silently into the pool.
+func TestNegativeWorkersRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = -2
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted Workers = -2")
+	} else if !strings.Contains(err.Error(), "Workers") {
+		t.Fatalf("error %q does not mention Workers", err)
+	}
+}

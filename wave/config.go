@@ -145,10 +145,15 @@ type Config struct {
 	Seed uint64
 
 	// Workers is the worker count of the parallel cycle engine
-	// (internal/engine). 0 or 1 runs the serial engine; higher values run the
-	// compute half of every cycle concurrently while staying bit-identical to
-	// the serial engine for the same seed. Simulators with Workers > 1 own a
-	// goroutine pool; call Close when done with them.
+	// (internal/engine). 0 (the default) means auto: the engine measures
+	// per-cycle compute work during warmup and upgrades itself to a pool
+	// sized to the load and GOMAXPROCS, staying serial below break-even so
+	// small or lightly loaded fabrics never pay barrier overhead. 1 forces
+	// the serial engine; higher values fix the pool size. Every setting is
+	// bit-identical to the serial engine for the same seed — the choice
+	// affects wall time only (see Simulator.EngineWorkers). Negative values
+	// are rejected by New. Simulators may own a goroutine pool; call Close
+	// when done with them.
 	Workers int
 
 	// WatchdogMaxAge bounds per-message delivery time in cycles (0 disables);

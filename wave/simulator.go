@@ -288,6 +288,13 @@ func (s *Simulator) EnginePorts() (active, total int) {
 	return s.mgr.Fab.WH.ActivePorts(), s.mgr.Fab.WH.NumPorts()
 }
 
+// EngineWorkers returns the worker count of the engine currently driving
+// cycles: 1 while serial — including before the Workers=0 auto-tuner has
+// decided — and the pool size once parallel. Deliberately not part of
+// Stats: the selection depends on the host (GOMAXPROCS), while Stats stay
+// bit-identical across hosts and worker counts.
+func (s *Simulator) EngineWorkers() int { return s.mgr.Fab.EngineWorkers() }
+
 // Counters returns a snapshot of the protocol counters.
 func (s *Simulator) Counters() protocol.Counters { return s.mgr.Ctr }
 
