@@ -46,6 +46,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		interval = fs.Int64("interval", 1000, "default progress-snapshot period in cycles")
 		timeout  = fs.Duration("job-timeout", 10*time.Minute, "default per-job deadline")
 		drain    = fs.Duration("drain", 30*time.Second, "shutdown budget for running jobs before they are cancelled")
+		cacheCap = fs.Int("cache", 256, "content-addressed result cache entries held in memory")
+		cacheDir = fs.String("cache-dir", "", "directory for the result cache's disk tier (empty = memory only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +55,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	cfg := server.Config{
 		QueueCap: *queueCap, Workers: *workers, StoreCap: *storeCap,
 		DefaultInterval: *interval, DefaultTimeout: *timeout,
+		CacheCap: *cacheCap, CacheDir: *cacheDir,
 	}
 	d, err := newDaemon(cfg, *addr, out)
 	if err != nil {

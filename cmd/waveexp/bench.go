@@ -145,6 +145,7 @@ type benchReport struct {
 	Lowload   *lowloadReport   `json:"lowload,omitempty"`
 	Faulted   *faultedReport   `json:"faulted,omitempty"`
 	Multicore *multicoreReport `json:"multicore,omitempty"`
+	Cache     *cacheReport     `json:"cache,omitempty"`
 }
 
 // benchConfig is the E7-style 16x16 stress configuration: near-saturation
@@ -345,6 +346,13 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 		faulted.FallbackFraction = float64(faulted.WormholeFallbacks) / float64(fDelivered)
 	}
 
+	// Serving-cache hit rate plus snapshot save/restore throughput and
+	// checkpoint-resume fidelity on the same stress configuration.
+	cacheRep, err := runBenchCache(seed)
+	if err != nil {
+		return err
+	}
+
 	rep := benchReport{
 		Benchmark:      "e7-stress-16x16",
 		Generated:      time.Now().UTC().Format(time.RFC3339),
@@ -364,6 +372,7 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 		Lowload:        low,
 		Faulted:        faulted,
 		Multicore:      mc,
+		Cache:          cacheRep,
 	}
 	if runtime.NumCPU() == 1 {
 		rep.Note = "single-CPU host: workers cannot overlap, so parallel speedup hovers near 1.0; stats_identical still certifies the determinism contract"
@@ -420,5 +429,6 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 		faulted.StatsIdentical, faulted.FullScanIdentical)
 	fmt.Fprintf(out, "bench multicore: gomaxprocs %d, best speedup %.2fx, auto selected %d worker(s), alloc parity %v, stats identical %v\n",
 		mc.GoMaxProcs, mc.BestSpeedupOverSerial, mc.AutoWorkersSelected, mc.AllocParity, mc.StatsIdentical)
+	printBenchCache(out, cacheRep)
 	return nil
 }

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/server"
+	"repro/wave"
+)
+
+// cacheReport is the -bench-json "cache" section: the content-addressed
+// serving tier's hit-rate and cached-submit latency, the snapshot codec's
+// save/restore throughput on a mid-run stress simulator, and the cost and
+// fidelity of resuming from that checkpoint.
+type cacheReport struct {
+	// Hit-rate sweep: DistinctSpecs tiny jobs are run once to warm the
+	// cache, then Submissions round-robin twins are submitted; every one
+	// must settle from the cache without a simulation.
+	DistinctSpecs  int     `json:"distinct_specs"`
+	Submissions    int     `json:"submissions"`
+	CacheHits      int64   `json:"cache_hits"`
+	HitRate        float64 `json:"hit_rate"`
+	SimulationsRun int64   `json:"simulations_run"`
+	// MeanCachedSubmitMicros is the mean wall time of one cached submit —
+	// the latency a batch client pays per deduplicated job.
+	MeanCachedSubmitMicros float64 `json:"mean_cached_submit_micros"`
+
+	// Snapshot codec throughput, measured on the 16x16 stress run frozen
+	// mid-measurement (slot arenas, probe tables, event queues all hot).
+	CheckpointCycle int64   `json:"checkpoint_cycle"`
+	SnapshotBytes   int     `json:"snapshot_bytes"`
+	SaveSeconds     float64 `json:"save_seconds"`
+	SaveMBPerSec    float64 `json:"save_mb_per_sec"`
+	RestoreSeconds  float64 `json:"restore_seconds"`
+	RestoreMBPerSec float64 `json:"restore_mb_per_sec"`
+
+	// Resume: cycles the restored simulator had to execute to finish the
+	// interrupted run, the wall time they took, and whether the final
+	// Stats matched the uninterrupted run bit for bit (hard error if not).
+	CyclesToResume     int64   `json:"cycles_to_resume"`
+	ResumeWallSeconds  float64 `json:"resume_wall_seconds"`
+	ResumeCyclesPerSec float64 `json:"resume_cycles_per_sec"`
+	StatsIdentical     bool    `json:"stats_identical"`
+}
+
+// benchCacheSpec is one tiny 4x4 load job for the hit-rate sweep; distinct
+// seeds make distinct content addresses.
+func benchCacheSpec(seed uint64) server.Spec {
+	c := server.SimConfig(wave.DefaultConfig())
+	c.Topology = wave.TopologyConfig{Kind: "torus", Radix: []int{4, 4}}
+	c.Seed = seed
+	return server.Spec{
+		Kind:   "load",
+		Config: &c,
+		Load:   &wave.Workload{Pattern: "uniform", Load: 0.05, FixedLength: 16},
+		Warmup: 100, Measure: 400,
+	}
+}
+
+// awaitJob polls a job to a terminal state.
+func awaitJob(j *server.Job) error {
+	deadline := time.Now().Add(60 * time.Second)
+	for !j.State().Terminal() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench cache: job %s stuck in %s", j.ID, j.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := j.State(); st != server.StateDone {
+		return fmt.Errorf("bench cache: job %s finished %s", j.ID, st)
+	}
+	return nil
+}
+
+// runBenchCache measures the serving cache and the snapshot codec.
+func runBenchCache(seed uint64) (*cacheReport, error) {
+	rep := &cacheReport{DistinctSpecs: 8, Submissions: 64}
+
+	// --- Hit-rate sweep over a live server core (no HTTP) ---------------
+	srv := server.New(server.Config{Workers: 2, QueueCap: 32})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	for i := 0; i < rep.DistinctSpecs; i++ {
+		j, err := srv.Submit(benchCacheSpec(seed + uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		if err := awaitJob(j); err != nil {
+			return nil, err
+		}
+		// The leader's flight settles (and the bytes publish) a beat after
+		// the job reads done; spin a twin until it answers from the cache.
+		for {
+			tw, err := srv.Submit(benchCacheSpec(seed + uint64(i)))
+			if err != nil {
+				return nil, err
+			}
+			if tw.State() == server.StateDone {
+				break
+			}
+			if err := awaitJob(tw); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	before := srv.CacheStats()
+	start := time.Now()
+	for i := 0; i < rep.Submissions; i++ {
+		j, err := srv.Submit(benchCacheSpec(seed + uint64(i%rep.DistinctSpecs)))
+		if err != nil {
+			return nil, err
+		}
+		if j.State() != server.StateDone {
+			return nil, fmt.Errorf("bench cache: warm twin %d missed the cache (state %s)", i, j.State())
+		}
+	}
+	sweepWall := time.Since(start)
+	after := srv.CacheStats()
+	rep.CacheHits = after.Hits - before.Hits
+	rep.SimulationsRun = after.Misses - before.Misses
+	rep.HitRate = float64(rep.CacheHits) / float64(rep.Submissions)
+	rep.MeanCachedSubmitMicros = sweepWall.Seconds() * 1e6 / float64(rep.Submissions)
+	if rep.SimulationsRun != 0 {
+		return nil, fmt.Errorf("bench cache: %d warm submissions missed the cache", rep.SimulationsRun)
+	}
+
+	// --- Snapshot save/restore throughput + resume fidelity -------------
+	cfg, w := benchConfig(seed)
+	cfg.Workers = 1
+	const (
+		snapWarmup  = 500
+		snapMeasure = 2000
+		checkpoint  = 1000
+	)
+	rep.CheckpointCycle = checkpoint
+
+	simA, err := wave.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer simA.Close()
+	if _, err := simA.RunLoad(w, snapWarmup, snapMeasure); err != nil {
+		return nil, err
+	}
+	statsA := simA.Stats()
+
+	simB, err := wave.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer simB.Close()
+	var buf bytes.Buffer
+	taken := false
+	var saveErr error
+	simB.OnInterval(checkpoint, func(int64) {
+		if taken {
+			return
+		}
+		taken = true
+		t0 := time.Now()
+		saveErr = simB.Snapshot(&buf)
+		rep.SaveSeconds = time.Since(t0).Seconds()
+	})
+	if _, err := simB.RunLoad(w, snapWarmup, snapMeasure); err != nil {
+		return nil, err
+	}
+	if saveErr != nil {
+		return nil, fmt.Errorf("bench cache: snapshot: %w", saveErr)
+	}
+	if !taken {
+		return nil, fmt.Errorf("bench cache: checkpoint hook never fired")
+	}
+	rep.SnapshotBytes = buf.Len()
+	mb := float64(rep.SnapshotBytes) / 1e6
+	if rep.SaveSeconds > 0 {
+		rep.SaveMBPerSec = mb / rep.SaveSeconds
+	}
+
+	t0 := time.Now()
+	simC, err := wave.Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, fmt.Errorf("bench cache: restore: %w", err)
+	}
+	defer simC.Close()
+	rep.RestoreSeconds = time.Since(t0).Seconds()
+	if rep.RestoreSeconds > 0 {
+		rep.RestoreMBPerSec = mb / rep.RestoreSeconds
+	}
+
+	t0 = time.Now()
+	if _, err := simC.ResumeLoad(); err != nil {
+		return nil, fmt.Errorf("bench cache: resume: %w", err)
+	}
+	rep.ResumeWallSeconds = time.Since(t0).Seconds()
+	statsC := simC.Stats()
+	rep.CyclesToResume = statsC.Cycle - checkpoint
+	if rep.ResumeWallSeconds > 0 {
+		rep.ResumeCyclesPerSec = float64(rep.CyclesToResume) / rep.ResumeWallSeconds
+	}
+	rep.StatsIdentical = statsC == statsA
+	if !rep.StatsIdentical {
+		return nil, fmt.Errorf("bench cache: resumed run diverged from uninterrupted — checkpoint determinism bug")
+	}
+	return rep, nil
+}
+
+// printBenchCache writes the human summary line for the cache section.
+func printBenchCache(out io.Writer, c *cacheReport) {
+	fmt.Fprintf(out, "bench cache: %.0f%% hit rate over %d submissions (%.0f us/cached submit), snapshot %.1f KB save %.0f MB/s restore %.0f MB/s, resume %d cycles at %.0f cycles/s, stats identical %v\n",
+		100*c.HitRate, c.Submissions, c.MeanCachedSubmitMicros,
+		float64(c.SnapshotBytes)/1e3, c.SaveMBPerSec, c.RestoreMBPerSec,
+		c.CyclesToResume, c.ResumeCyclesPerSec, c.StatsIdentical)
+}

@@ -12,6 +12,9 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +23,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/viz"
 	"repro/wave"
@@ -77,6 +81,12 @@ func run(args []string, out io.Writer) error {
 		retryLimit   = fs.Int("retry-limit", 0, "failed circuit setups re-armed up to this many times before falling back to wormhole (0 = off)")
 		retryBackoff = fs.Int64("retry-backoff", 0, "base of the linear retry backoff in cycles (retry r waits r*base; min 1)")
 
+		checkpointPath  = fs.String("checkpoint", "", "write periodic checkpoints (binary snapshots) to this file")
+		checkpointEvery = fs.Int64("checkpoint-every", 5000, "cycles between checkpoints (-checkpoint)")
+		checkpointStop  = fs.Bool("checkpoint-stop", false, "exit cleanly right after the first checkpoint is written")
+		resumePath      = fs.String("resume", "", "resume from a checkpoint file (topology/protocol/workload come from the snapshot; other knob flags are ignored)")
+		digest          = fs.Bool("digest", false, "print the SHA-256 digest of the final Stats (bit-exactness fingerprint)")
+
 		tracePath   = fs.String("trace", "", "CARP directive trace file (overrides synthetic traffic)")
 		csv         = fs.Bool("csv", false, "emit CSV instead of human-readable output")
 		hist        = fs.Bool("hist", false, "print a latency histogram")
@@ -117,6 +127,10 @@ func run(args []string, out io.Writer) error {
 			pprof.WriteHeapProfile(f)
 			f.Close()
 		}()
+	}
+
+	if *resumePath != "" {
+		return runResume(out, *resumePath, *checkpointPath, *checkpointEvery, *checkpointStop, *digest, *timeout)
 	}
 
 	cfg := wave.DefaultConfig()
@@ -170,6 +184,21 @@ func run(args []string, out io.Writer) error {
 	}
 	if *eventsN > 0 {
 		sim.EnableEventLog(*eventsN)
+	}
+
+	var ckptStopped bool
+	if *checkpointPath != "" {
+		var cancelCkpt context.CancelFunc
+		if *checkpointStop {
+			ctx, cancelCkpt = context.WithCancel(ctx)
+			defer cancelCkpt()
+		}
+		armCheckpoints(sim, *checkpointPath, *checkpointEvery, func() {
+			if *checkpointStop {
+				ckptStopped = true
+				cancelCkpt()
+			}
+		})
 	}
 
 	if *tracePath != "" {
@@ -228,6 +257,11 @@ func run(args []string, out io.Writer) error {
 		WantCircuit:  !*noCirc,
 	}, *warmup, *measure)
 	if err != nil {
+		if ckptStopped && errors.Is(err, context.Canceled) {
+			fmt.Fprintf(out, "checkpoint written to %s at cycle %d; resume with -resume %s\n",
+				*checkpointPath, sim.Now(), *checkpointPath)
+			return nil
+		}
 		return err
 	}
 
@@ -236,6 +270,9 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%s,%g,%d,%.2f,%.0f,%.0f,%.0f,%.4f,%.3f,%.3f,%.1f\n",
 			res.Protocol, *load, *msgLen, res.AvgLatency, res.P50Latency, res.P95Latency,
 			res.P99Latency, res.Throughput, res.CircuitFraction, res.HitRate, res.AvgSetupCycles)
+		if *digest {
+			printStatsDigest(out, sim)
+		}
 		return nil
 	}
 
@@ -296,6 +333,116 @@ func run(args []string, out io.Writer) error {
 		if _, err := sim.RenderEvents(out, *eventKind); err != nil {
 			return err
 		}
+	}
+	if *digest {
+		printStatsDigest(out, sim)
+	}
+	return nil
+}
+
+// armCheckpoints installs the periodic checkpoint hook: every `every`
+// cycles the complete simulator state is written atomically (temp file +
+// rename) to path, and wrote() fires after each successful write.
+func armCheckpoints(sim *wave.Simulator, path string, every int64, wrote func()) {
+	if every <= 0 {
+		every = 5000
+	}
+	sim.OnInterval(every, func(int64) {
+		if err := writeSnapshot(sim, path); err != nil {
+			fmt.Fprintln(os.Stderr, "wavesim: checkpoint:", err)
+			return
+		}
+		wrote()
+	})
+}
+
+// writeSnapshot checkpoints atomically so a crash mid-write never destroys
+// the previous good checkpoint.
+func writeSnapshot(sim *wave.Simulator, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := sim.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// printStatsDigest prints the SHA-256 of the final Stats JSON — the
+// fingerprint the checkpoint-determinism CI step compares across an
+// uninterrupted run and a checkpoint/resume pair.
+func printStatsDigest(out io.Writer, sim *wave.Simulator) {
+	j, err := json.Marshal(sim.Stats())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wavesim: digest:", err)
+		return
+	}
+	fmt.Fprintf(out, "stats-digest    sha256:%x\n", sha256.Sum256(j))
+}
+
+// runResume restores a checkpoint and drives the run it holds to
+// completion, optionally re-arming further checkpoints.
+func runResume(out io.Writer, path, ckptPath string, ckptEvery int64, ckptStop, digest bool, timeout time.Duration) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	sim, err := wave.Restore(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	defer sim.Close()
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	var ckptStopped bool
+	if ckptPath != "" {
+		var cancelCkpt context.CancelFunc
+		if ckptStop {
+			ctx, cancelCkpt = context.WithCancel(ctx)
+			defer cancelCkpt()
+		}
+		armCheckpoints(sim, ckptPath, ckptEvery, func() {
+			if ckptStop {
+				ckptStopped = true
+				cancelCkpt()
+			}
+		})
+	}
+
+	if !sim.InLoadRun() {
+		fmt.Fprintf(out, "resumed %s at cycle %d (no load run in progress)\n", path, sim.Now())
+	} else {
+		res, err := sim.ResumeLoadContext(ctx)
+		if err != nil {
+			if ckptStopped && errors.Is(err, context.Canceled) {
+				fmt.Fprintf(out, "checkpoint written to %s at cycle %d; resume with -resume %s\n",
+					ckptPath, sim.Now(), ckptPath)
+				return nil
+			}
+			return err
+		}
+		fmt.Fprintf(out, "resumed %s, run completed at cycle %d\n", path, res.Cycles)
+		fmt.Fprintf(out, "delivered       %d messages over %d cycles\n", res.Delivered, res.Cycles)
+		fmt.Fprintf(out, "latency         avg %.1f  p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n",
+			res.AvgLatency, res.P50Latency, res.P95Latency, res.P99Latency, res.MaxLatency)
+		fmt.Fprintf(out, "throughput      %.4f flits/node/cycle accepted\n", res.Throughput)
+	}
+	if digest {
+		printStatsDigest(out, sim)
 	}
 	return nil
 }

@@ -78,6 +78,16 @@ func (f *FIFO) Reset() {
 	f.head, f.count = 0, 0
 }
 
+// At returns the i-th queued flit counting from the head (0 = Front). It
+// panics when i is out of range. Snapshots iterate queue contents with it;
+// refilling by Push in At order reproduces the same logical queue.
+func (f *FIFO) At(i int) flit.Flit {
+	if i < 0 || i >= f.count {
+		panic(fmt.Sprintf("buffer: FIFO index %d out of range (len %d)", i, f.count))
+	}
+	return f.buf[(f.head+i)%len(f.buf)]
+}
+
 // Credits tracks the free buffer slots available at the downstream end of a
 // virtual channel. The upstream router may only forward a flit while
 // Available() > 0; it Takes one credit per flit sent and the downstream

@@ -171,6 +171,28 @@ const (
 // longest message of its set (CARP) — re-allocation never triggers.
 const BufUnlimited = 1 << 30
 
+// Descriptor event kinds (engine.Event.Kind). Every steady-state fabric
+// event is one of these, dispatched by execEvent from its serialisable
+// (Kind, Args) form — which is what lets a snapshot capture the pending
+// event queue. Kind 0 is reserved for opaque closure events (ScheduleAt,
+// test-only onIdle callbacks); those cannot be snapshotted.
+const (
+	// evCircuitDeliver: a circuit transfer completes.
+	// Args: msgID, src, dst, len, injectTime.
+	evCircuitDeliver uint8 = iota + 1
+	// evCircuitAck: the end-to-end window acknowledgment returns and the
+	// In-use bit clears. Args: src, dst, circuitID.
+	evCircuitAck
+	// evFaultInject: a dynamic wave-channel fault fires.
+	// Args: link, switch, repairDelay.
+	evFaultInject
+	// evFaultRepair: a faulted channel returns to service. Args: link, switch.
+	evFaultRepair
+	// evRetry: a protocol-layer probe-retry backoff timer fires.
+	// Args: src, dst.
+	evRetry
+)
+
 // CircuitRate returns the streaming bandwidth of one circuit in flits per
 // wormhole cycle.
 func (p Params) CircuitRate() float64 { return p.WaveClockMult / float64(p.NumSwitches) }
@@ -199,6 +221,13 @@ type Fabric struct {
 	hooks  Hooks
 	caches []*circuit.Cache
 	rng    *sim.RNG
+
+	// Registered protocol-layer handlers for descriptor events: onRetry
+	// executes evRetry timers, onCircuitIdle runs when a window ack clears a
+	// circuit's In-use bit. Handlers replace per-event closures so pending
+	// events serialise (see the ev* kinds above).
+	onRetry       func(src, dst topology.Node, now int64)
+	onCircuitIdle func(src, dst topology.Node)
 
 	// events holds scheduled fabric actions (circuit deliveries, window
 	// acks), sharded by source node; pool is the worker pool of the parallel
@@ -301,6 +330,15 @@ func New(topo topology.Topology, prm Params, hooks Hooks) (*Fabric, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Teardown completions report through this registered handler (the
+	// snapshot-safe path; teardownNow uses TeardownNotify): drop the cache
+	// entry and let the NI re-issue whatever was queued on the dead circuit.
+	f.PCS.SetCircuitFreed(func(src, dst topology.Node, id circuit.ID) {
+		f.caches[src].Remove(dst)
+		if f.hooks.CircuitFreed != nil {
+			f.hooks.CircuitFreed(src, dst, id)
+		}
+	})
 	f.caches = make([]*circuit.Cache, topo.Nodes())
 	for i := range f.caches {
 		pol, perr := circuit.NewPolicy(prm.ReplacePolicy, f.rng.Split())
@@ -408,7 +446,11 @@ func (f *Fabric) Now() int64 { return f.now }
 func (f *Fabric) Cycle(now int64) {
 	f.now = now
 	for _, ev := range f.events.PopDue(now) {
-		ev.Fn(now)
+		if ev.Kind != 0 {
+			f.execEvent(ev.Kind, ev.Args, now)
+		} else {
+			ev.Fn(now)
+		}
 		f.progress()
 	}
 	if f.fastForward && f.WH.InFlight() == 0 && f.PCS.Idle() {
@@ -480,6 +522,70 @@ func (f *Fabric) schedule(n topology.Node, at int64, fn func(now int64)) {
 	f.events.Schedule(int(n), at, fn)
 }
 
+// execEvent dispatches one descriptor event (see the ev* kind constants).
+func (f *Fabric) execEvent(kind uint8, args [engine.NumEventArgs]int64, now int64) {
+	switch kind {
+	case evCircuitDeliver:
+		m := flit.Message{
+			ID:         flit.MsgID(args[0]),
+			Src:        int(args[1]),
+			Dst:        int(args[2]),
+			Len:        int(args[3]),
+			InjectTime: args[4],
+		}
+		f.transfersInFlight--
+		delete(f.transferInject, m.ID)
+		f.CircuitMsgsDelivered++
+		f.CircuitFlitsDelivered += int64(m.Len)
+		if f.hooks.DeliveredCircuit != nil {
+			f.hooks.DeliveredCircuit(m, now)
+		}
+	case evCircuitAck:
+		src, dst := topology.Node(args[0]), topology.Node(args[1])
+		if entry, ok := f.caches[src].Peek(dst); ok && entry.ID == circuit.ID(args[2]) {
+			entry.InUse = false
+		}
+		if f.onCircuitIdle != nil {
+			f.onCircuitIdle(src, dst)
+		}
+	case evFaultInject:
+		ch := pcs.Channel{Link: topology.LinkID(args[0]), Switch: int(args[1])}
+		f.PCS.InjectDynamicFault(ch)
+		if repair := args[2]; repair > 0 {
+			l, _ := f.Topo.LinkByID(ch.Link)
+			f.events.ScheduleKind(int(l.From), now+repair, evFaultRepair,
+				[engine.NumEventArgs]int64{args[0], args[1]})
+		}
+	case evFaultRepair:
+		f.PCS.RepairFault(pcs.Channel{Link: topology.LinkID(args[0]), Switch: int(args[1])})
+	case evRetry:
+		if f.onRetry != nil {
+			f.onRetry(topology.Node(args[0]), topology.Node(args[1]), now)
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown event kind %d", kind))
+	}
+}
+
+// SetRetryHandler registers the protocol layer's executor for evRetry
+// timers scheduled through ScheduleRetry.
+func (f *Fabric) SetRetryHandler(fn func(src, dst topology.Node, now int64)) { f.onRetry = fn }
+
+// SetCircuitIdleHandler registers the protocol layer's executor run when a
+// window acknowledgment clears a circuit's In-use bit.
+func (f *Fabric) SetCircuitIdleHandler(fn func(src, dst topology.Node)) { f.onCircuitIdle = fn }
+
+// ScheduleRetry queues a probe-retry timer for the (src, dst) pair at cycle
+// `at` (strictly in the future); the registered retry handler executes it.
+// Unlike ScheduleAt's closures, retry timers serialise with the snapshot.
+func (f *Fabric) ScheduleRetry(src, dst topology.Node, at int64) {
+	if at <= f.now {
+		panic(fmt.Sprintf("core: ScheduleRetry(%d) is not in the future (now %d)", at, f.now))
+	}
+	f.events.ScheduleKind(int(src), at, evRetry,
+		[engine.NumEventArgs]int64{int64(src), int64(dst)})
+}
+
 // ScheduleAt queues fn to run at cycle `at` (which must be strictly in the
 // future) on node n's shard of the event queue. The protocol layer uses it
 // for deterministic timers (probe-retry backoff); scheduled work is visible
@@ -512,14 +618,8 @@ func (f *Fabric) ScheduleFault(at int64, ch pcs.Channel, repair int64) error {
 	if ch.Switch < 0 || ch.Switch >= f.Prm.NumSwitches {
 		return fmt.Errorf("core: fault on switch %d out of range (0..%d)", ch.Switch, f.Prm.NumSwitches-1)
 	}
-	f.schedule(l.From, at, func(now int64) {
-		f.PCS.InjectDynamicFault(ch)
-		if repair > 0 {
-			f.schedule(l.From, now+repair, func(int64) {
-				f.PCS.RepairFault(ch)
-			})
-		}
-	})
+	f.events.ScheduleKind(int(l.From), at, evFaultInject,
+		[engine.NumEventArgs]int64{int64(ch.Link), int64(ch.Switch), repair})
 	return nil
 }
 
@@ -529,6 +629,18 @@ func (f *Fabric) InjectWormhole(m flit.Message) { f.WH.Inject(m) }
 // LaunchProbe starts a circuit-setup attempt (see pcs.Engine.LaunchProbe).
 func (f *Fabric) LaunchProbe(src, dst topology.Node, sw int, force bool, done func(pcs.SetupResult)) {
 	f.PCS.LaunchProbe(src, dst, sw, force, done)
+}
+
+// LaunchProbeTagged starts a circuit-setup attempt whose completion reports
+// through the handler registered with SetProbeDone, carrying tag — the
+// snapshot-safe launch path (see pcs.Engine.LaunchProbeTagged).
+func (f *Fabric) LaunchProbeTagged(src, dst topology.Node, sw int, force bool, tag int64) {
+	f.PCS.LaunchProbeTagged(src, dst, sw, force, tag)
+}
+
+// SetProbeDone registers the completion handler for tagged probes.
+func (f *Fabric) SetProbeDone(fn func(src, dst topology.Node, sw int, force bool, tag int64, res pcs.SetupResult)) {
+	f.PCS.SetProbeDone(fn)
 }
 
 // SendOnCircuit streams message m over the established circuit recorded in
@@ -586,21 +698,23 @@ func (f *Fabric) SendOnCircuit(entry *circuit.Entry, m flit.Message, onIdle func
 		f.WaveLinkFlits[ch.Link] += int64(m.Len)
 	}
 
-	f.schedule(topology.Node(m.Src), deliverAt, func(now int64) {
-		f.transfersInFlight--
-		delete(f.transferInject, m.ID)
-		f.CircuitMsgsDelivered++
-		f.CircuitFlitsDelivered += int64(m.Len)
-		if f.hooks.DeliveredCircuit != nil {
-			f.hooks.DeliveredCircuit(m, now)
-		}
-	})
-	f.schedule(topology.Node(m.Src), ackAt, func(int64) {
-		entry.InUse = false
-		if onIdle != nil {
+	f.events.ScheduleKind(m.Src, deliverAt, evCircuitDeliver,
+		[engine.NumEventArgs]int64{int64(m.ID), int64(m.Src), int64(m.Dst), int64(m.Len), m.InjectTime})
+	if onIdle == nil {
+		// Protocol path: the ack event clears the In-use bit (guarded by the
+		// circuit ID, in case the entry was replaced meanwhile) and fires the
+		// registered circuit-idle handler. Fully descriptive, so an ack in
+		// flight survives a snapshot.
+		f.events.ScheduleKind(m.Src, ackAt, evCircuitAck,
+			[engine.NumEventArgs]int64{int64(m.Src), int64(entry.Dest), int64(entry.ID)})
+	} else {
+		// Test path: a caller-supplied closure pins this event to the live
+		// entry object; such an event blocks EncodeState.
+		f.schedule(topology.Node(m.Src), ackAt, func(int64) {
+			entry.InUse = false
 			onIdle()
-		}
-	})
+		})
+	}
 }
 
 // TransfersInFlight returns circuit messages between send and delivery.
@@ -629,19 +743,16 @@ func (f *Fabric) RequestTeardown(src topology.Node, entry *circuit.Entry) {
 	f.teardownNow(src, entry)
 }
 
-// teardownNow starts the teardown control flit for an idle established entry.
+// teardownNow starts the teardown control flit for an idle established
+// entry. Completion reports through the CircuitFreed handler registered at
+// construction (removing the cache entry and notifying the NI), so a
+// teardown in flight survives a snapshot.
 func (f *Fabric) teardownNow(src topology.Node, entry *circuit.Entry) {
 	if entry.State == circuit.Releasing {
 		return
 	}
 	entry.State = circuit.Releasing
-	id, dst := entry.ID, entry.Dest
-	f.PCS.Teardown(id, func() {
-		f.caches[src].Remove(dst)
-		if f.hooks.CircuitFreed != nil {
-			f.hooks.CircuitFreed(src, dst, id)
-		}
-	})
+	f.PCS.TeardownNotify(entry.ID)
 }
 
 // MaybeHonourRelease completes a deferred release once a circuit goes idle;

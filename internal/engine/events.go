@@ -1,10 +1,28 @@
 package engine
 
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/snapshot"
+)
+
+// NumEventArgs is the argument capacity of a descriptor event — wide enough
+// for the largest fabric event payload (a full flit.Message).
+const NumEventArgs = 5
+
 // Event is one scheduled fabric action (circuit delivery, window ack, ...).
+// An event is either opaque (Kind == 0, behaviour in Fn) or descriptive
+// (Kind != 0, behaviour dispatched by the owner from Kind and Args). Only
+// descriptive events survive a snapshot: a closure cannot be serialised, so
+// Encode refuses opaque pending events.
 type Event struct {
 	At  int64
 	Seq int64
 	Fn  func(now int64)
+
+	Kind uint8
+	Args [NumEventArgs]int64
 }
 
 // eventHeap is a typed min-heap ordered by (At, Seq). It replaces the old
@@ -103,6 +121,30 @@ func (s *ShardedEvents) Schedule(shard int, at int64, fn func(now int64)) {
 		e = &Event{}
 	}
 	e.At, e.Seq, e.Fn = at, s.seq, fn
+	e.Kind = 0
+	s.shards[shard%len(s.shards)].push(e)
+	s.size++
+}
+
+// ScheduleKind queues a descriptive event on `shard` at cycle `at`. The
+// owner executes it by dispatching on (Kind, Args) — kind must be nonzero.
+// Unlike closure events these serialise, so every steady-state fabric event
+// is scheduled through here.
+func (s *ShardedEvents) ScheduleKind(shard int, at int64, kind uint8, args [NumEventArgs]int64) {
+	if kind == 0 {
+		panic("engine: ScheduleKind requires a nonzero kind")
+	}
+	s.seq++
+	var e *Event
+	if n := len(s.pool); n > 0 {
+		e = s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+	} else {
+		e = &Event{}
+	}
+	e.At, e.Seq, e.Fn = at, s.seq, nil
+	e.Kind, e.Args = kind, args
 	s.shards[shard%len(s.shards)].push(e)
 	s.size++
 }
@@ -167,4 +209,71 @@ func eventBefore(a, b *Event) bool {
 		return a.At < b.At
 	}
 	return a.Seq < b.Seq
+}
+
+// eventRec pairs a pending event with its shard for serialisation.
+type eventRec struct {
+	shard int
+	e     *Event
+}
+
+// EncodeState writes every pending event plus the global sequence counter.
+// Events are emitted in (At, Seq) order — the deterministic pop order — so
+// the encoding is independent of heap layout. It returns an error if any
+// pending event is opaque (Kind == 0): such an event holds a closure the
+// snapshot cannot represent.
+func (s *ShardedEvents) EncodeState(w *snapshot.Writer) error {
+	recs := make([]eventRec, 0, s.size)
+	for i := range s.shards {
+		for _, e := range s.shards[i] {
+			if e.Kind == 0 {
+				return fmt.Errorf("engine: pending opaque event at cycle %d (seq %d) cannot be snapshotted", e.At, e.Seq)
+			}
+			recs = append(recs, eventRec{shard: i, e: e})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return eventBefore(recs[i].e, recs[j].e) })
+	w.I64(s.seq)
+	w.U32(uint32(len(recs)))
+	for _, rec := range recs {
+		w.U32(uint32(rec.shard))
+		w.I64(rec.e.At)
+		w.I64(rec.e.Seq)
+		w.U8(rec.e.Kind)
+		for _, a := range rec.e.Args {
+			w.I64(a)
+		}
+	}
+	return w.Err()
+}
+
+// DecodeState replaces the pending-event set with the encoded one. Shard
+// placement is remapped modulo the current shard count — pop order depends
+// only on (At, Seq), so a snapshot restores bit-identically into a store
+// with any shard count.
+func (s *ShardedEvents) DecodeState(r *snapshot.Reader) error {
+	for i := range s.shards {
+		s.shards[i] = nil
+	}
+	s.due = s.due[:0]
+	s.pool = s.pool[:0]
+	s.size = 0
+	s.seq = r.I64()
+	n := r.Count(1 << 26)
+	for i := 0; i < n; i++ {
+		shard := int(r.U32())
+		e := &Event{At: r.I64(), Seq: r.I64(), Kind: r.U8()}
+		for j := range e.Args {
+			e.Args[j] = r.I64()
+		}
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if e.Kind == 0 {
+			return fmt.Errorf("engine: encoded event %d has zero kind", i)
+		}
+		s.shards[shard%len(s.shards)].push(e)
+		s.size++
+	}
+	return r.Err()
 }

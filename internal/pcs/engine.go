@@ -110,6 +110,10 @@ type Circuit struct {
 	// teardownDeferred queues a teardown request that arrived mid-ack.
 	teardownDeferred bool
 	deferredDone     func()
+	// deferredNotify queues a TeardownNotify request that arrived mid-ack:
+	// the registered CircuitFreed handler fires instead of a closure, which
+	// is what lets a deferred teardown survive a snapshot.
+	deferredNotify bool
 }
 
 // Counters aggregates the engine's protocol statistics.
@@ -174,6 +178,9 @@ type probe struct {
 	sw     int
 	force  bool
 	maxMis int
+	// tag is caller context carried by a handler-dispatched probe (the
+	// protocol layer stores the attempt number); unused by closure probes.
+	tag int64
 
 	at        topology.Node
 	misroutes int
@@ -219,6 +226,9 @@ type teardown struct {
 	circ *Circuit
 	next int // index into circ.Path
 	done func()
+	// notify routes completion through the registered CircuitFreed handler
+	// instead of a closure (TeardownNotify); snapshot-safe.
+	notify bool
 }
 
 // release travels backward from the requesting node toward the circuit's
@@ -294,6 +304,14 @@ type Engine struct {
 	// setupWaiting counts probes in existence (for oldest-age accounting by
 	// callers if needed).
 	now int64
+
+	// Registered completion handlers: the snapshot-safe alternative to the
+	// per-call closures. A probe launched via LaunchProbeTagged (done == nil)
+	// reports through onDone; a TeardownNotify completion reports through
+	// onFreed. Closures, when present, always win — tests rely on them — but
+	// a pending closure blocks EncodeState.
+	onDone  func(src, dst topology.Node, sw int, force bool, tag int64, res SetupResult)
+	onFreed func(src, dst topology.Node, id circuit.ID)
 }
 
 // New constructs the engine.
@@ -533,9 +551,7 @@ func (e *Engine) killProbeByID(id flit.ProbeID) bool {
 		e.cleanupHistory(p)
 		e.Ctr.ProbesFailed++
 		e.Ctr.FaultProbesKilled++
-		if p.done != nil {
-			p.done(SetupResult{Probe: p.id, OK: false, Cycles: e.now - p.launched + 1})
-		}
+		e.fireDone(p, SetupResult{Probe: p.id, OK: false, Cycles: e.now - p.launched + 1})
 		e.putProbe(p)
 		return true
 	}
@@ -578,16 +594,41 @@ func (e *Engine) killAck(circ *Circuit) {
 	e.Ctr.ProbesFailed++
 	e.Ctr.FaultProbesKilled++
 	e.Ctr.FaultCircuitsTorn++
-	if p.done != nil {
-		p.done(SetupResult{Probe: p.id, OK: false, Cycles: e.now - p.launched + 1})
-	}
+	e.fireDone(p, SetupResult{Probe: p.id, OK: false, Cycles: e.now - p.launched + 1})
 	e.putProbe(p)
 	e.putCircuit(circ)
+}
+
+// SetProbeDone registers the engine-wide completion handler for probes
+// launched without a closure (LaunchProbeTagged). The handler receives the
+// probe's identity fields and caller tag, so it can reconstruct exactly the
+// context a closure would have captured — which is what makes probe
+// completions snapshot-safe.
+func (e *Engine) SetProbeDone(fn func(src, dst topology.Node, sw int, force bool, tag int64, res SetupResult)) {
+	e.onDone = fn
+}
+
+// SetCircuitFreed registers the engine-wide completion handler for
+// TeardownNotify teardowns.
+func (e *Engine) SetCircuitFreed(fn func(src, dst topology.Node, id circuit.ID)) {
+	e.onFreed = fn
 }
 
 // LaunchProbe starts one circuit-setup attempt from src to dst across wave
 // switch sw (0-based). done fires exactly once with the outcome.
 func (e *Engine) LaunchProbe(src, dst topology.Node, sw int, force bool, done func(SetupResult)) flit.ProbeID {
+	return e.launch(src, dst, sw, force, 0, done)
+}
+
+// LaunchProbeTagged starts a probe whose completion reports through the
+// registered SetProbeDone handler, carrying tag. Unlike a closure probe it
+// survives a snapshot: the probe's wire state plus the tag fully describe
+// the pending completion.
+func (e *Engine) LaunchProbeTagged(src, dst topology.Node, sw int, force bool, tag int64) flit.ProbeID {
+	return e.launch(src, dst, sw, force, tag, nil)
+}
+
+func (e *Engine) launch(src, dst topology.Node, sw int, force bool, tag int64, done func(SetupResult)) flit.ProbeID {
 	if src == dst {
 		panic("pcs: probe to self")
 	}
@@ -604,10 +645,23 @@ func (e *Engine) LaunchProbe(src, dst topology.Node, sw int, force bool, done fu
 	p.maxMis = e.prm.MaxMisroutes
 	p.at = src
 	p.launched = e.now
+	p.tag = tag
 	p.done = done
 	e.probes = append(e.probes, p)
 	e.Ctr.ProbesLaunched++
 	return p.id
+}
+
+// fireDone reports a probe's outcome: through its closure when it has one,
+// otherwise through the registered handler.
+func (e *Engine) fireDone(p *probe, res SetupResult) {
+	if p.done != nil {
+		p.done(res)
+		return
+	}
+	if e.onDone != nil {
+		e.onDone(p.src, p.dst, p.sw, p.force, p.tag, res)
+	}
 }
 
 // getProbe takes a probe object from the free-list (or allocates the pool's
@@ -628,6 +682,7 @@ func (e *Engine) getProbe() *probe {
 	p.requestedRelease = false
 	p.waitingFor = Channel{}
 	p.waitingOwner = 0
+	p.tag = 0
 	p.opts = p.opts[:0]
 	p.prep.kind = prepNone
 	p.prep.cycle = -1
@@ -659,6 +714,7 @@ func (e *Engine) getCircuit() *Circuit {
 	c.ackPending = false
 	c.teardownDeferred = false
 	c.deferredDone = nil
+	c.deferredNotify = false
 	return c
 }
 
@@ -671,7 +727,14 @@ func (e *Engine) putCircuit(c *Circuit) {
 // Teardown starts releasing circuit id from its source. done fires when the
 // teardown flit has freed the last channel. It panics if the circuit does not
 // exist; callers own the in-use discipline.
-func (e *Engine) Teardown(id circuit.ID, done func()) {
+func (e *Engine) Teardown(id circuit.ID, done func()) { e.teardownStart(id, done, false) }
+
+// TeardownNotify starts releasing circuit id; completion fires the
+// registered SetCircuitFreed handler instead of a closure, which is what
+// makes an in-flight teardown snapshot-safe.
+func (e *Engine) TeardownNotify(id circuit.ID) { e.teardownStart(id, nil, true) }
+
+func (e *Engine) teardownStart(id circuit.ID, done func(), notify bool) {
 	c, ok := e.circuits[id]
 	if !ok {
 		panic(fmt.Sprintf("pcs: teardown of unknown circuit %d", id))
@@ -684,10 +747,11 @@ func (e *Engine) Teardown(id circuit.ID, done func()) {
 		// now would cross it. Defer until the ack lands.
 		c.teardownDeferred = true
 		c.deferredDone = done
+		c.deferredNotify = notify
 		return
 	}
 	c.tearingDown = true
-	e.teardowns = append(e.teardowns, teardown{circ: c, next: 0, done: done})
+	e.teardowns = append(e.teardowns, teardown{circ: c, next: 0, done: done, notify: notify})
 	e.Ctr.Teardowns++
 }
 
@@ -762,6 +826,8 @@ func (e *Engine) stepTeardowns() {
 			delete(e.circuits, td.circ.ID)
 			if td.done != nil {
 				td.done()
+			} else if td.notify && e.onFreed != nil {
+				e.onFreed(td.circ.Src, td.circ.Dst, td.circ.ID)
 			}
 			e.putCircuit(td.circ)
 			continue
@@ -857,21 +923,21 @@ func (e *Engine) stepAcks() {
 			a.circ.ackPending = false
 			e.cleanupHistory(p)
 			e.Ctr.ProbesSucceeded++
-			if p.done != nil {
-				p.done(SetupResult{
-					Probe:   p.id,
-					OK:      true,
-					Circuit: a.circ.ID,
-					First:   a.circ.Path[0],
-					PathLen: len(a.circ.Path),
-					Cycles:  e.now - p.launched + 1,
-				})
-			}
+			e.fireDone(p, SetupResult{
+				Probe:   p.id,
+				OK:      true,
+				Circuit: a.circ.ID,
+				First:   a.circ.Path[0],
+				PathLen: len(a.circ.Path),
+				Cycles:  e.now - p.launched + 1,
+			})
 			if a.circ.teardownDeferred {
 				a.circ.teardownDeferred = false
 				done := a.circ.deferredDone
+				notify := a.circ.deferredNotify
 				a.circ.deferredDone = nil
-				e.Teardown(a.circ.ID, done)
+				a.circ.deferredNotify = false
+				e.teardownStart(a.circ.ID, done, notify)
 			}
 			e.putProbe(p)
 			continue
@@ -1240,9 +1306,7 @@ func (e *Engine) probeBacktrack(p *probe) bool {
 		// Exhausted the search from the source: the attempt fails.
 		e.cleanupHistory(p)
 		e.Ctr.ProbesFailed++
-		if p.done != nil {
-			p.done(SetupResult{Probe: p.id, OK: false, Cycles: e.now - p.launched + 1})
-		}
+		e.fireDone(p, SetupResult{Probe: p.id, OK: false, Cycles: e.now - p.launched + 1})
 		e.putProbe(p)
 		return false
 	}

@@ -185,6 +185,13 @@ func New(topo topology.Topology, prm core.Params, kind Kind, opt Options, hooks 
 		return nil, err
 	}
 	m.Fab = fab
+	// The setup FSM runs through registered handlers rather than captured
+	// closures so that in-flight probes, retries and circuit acks survive a
+	// snapshot: the fabric records which handler to fire, and a restored run
+	// re-enters the same code through the same registration.
+	fab.SetProbeDone(m.probeDone)
+	fab.SetRetryHandler(m.retryFire)
+	fab.SetCircuitIdleHandler(m.circuitIdle)
 	return m, nil
 }
 
@@ -388,33 +395,47 @@ func (m *Manager) startSetup(src, dst topology.Node) {
 }
 
 // probeNext launches attempt number `attempt` (switch rotation) of the
-// current phase; force selects phase one vs two.
+// current phase; force selects phase one vs two. The attempt number rides
+// the probe as its tag; probeDone picks the sequence back up from it.
 func (m *Manager) probeNext(src, dst topology.Node, entry *circuit.Entry, initial, attempt int, force bool) {
 	k := m.Fab.Prm.NumSwitches
 	sw := (initial + attempt) % k
 	entry.Switch = sw
-	m.Fab.LaunchProbe(src, dst, sw, force, func(res pcs.SetupResult) {
-		if res.OK {
-			m.setupSucceeded(src, dst, entry, res)
-			return
-		}
-		limit := k
-		if force && m.Opt.SinglePhase2Switch {
-			limit = 1
-		}
-		if attempt+1 < limit {
-			m.probeNext(src, dst, entry, initial, attempt+1, force)
-			return
-		}
-		if !force && m.Kind == CLRP {
-			// Phase two: same switch rotation, Force bit set.
-			m.Ctr.Phase2Entered++
-			m.ev(events.Phase2, int(src), int(dst), 0)
-			m.probeNext(src, dst, entry, initial, 0, true)
-			return
-		}
-		m.attemptExhausted(src, dst, entry)
-	})
+	m.Fab.LaunchProbeTagged(src, dst, sw, force, int64(attempt))
+}
+
+// probeDone is the registered probe-completion handler: it continues the
+// setup sequence for (src, dst) — next switch, next phase, success or
+// exhaustion. The cache entry is re-fetched rather than captured, so a
+// probe completing after its entry vanished (a fault tore the FSM down)
+// is dropped harmlessly.
+func (m *Manager) probeDone(src, dst topology.Node, sw int, force bool, tag int64, res pcs.SetupResult) {
+	entry, ok := m.Fab.Cache(src).Peek(dst)
+	if !ok {
+		return
+	}
+	attempt := int(tag)
+	if res.OK {
+		m.setupSucceeded(src, dst, entry, res)
+		return
+	}
+	k := m.Fab.Prm.NumSwitches
+	limit := k
+	if force && m.Opt.SinglePhase2Switch {
+		limit = 1
+	}
+	if attempt+1 < limit {
+		m.probeNext(src, dst, entry, entry.InitialSwitch, attempt+1, force)
+		return
+	}
+	if !force && m.Kind == CLRP {
+		// Phase two: same switch rotation, Force bit set.
+		m.Ctr.Phase2Entered++
+		m.ev(events.Phase2, int(src), int(dst), 0)
+		m.probeNext(src, dst, entry, entry.InitialSwitch, 0, true)
+		return
+	}
+	m.attemptExhausted(src, dst, entry)
 }
 
 // attemptExhausted fires when a full probe sequence — every switch, both
@@ -436,14 +457,7 @@ func (m *Manager) attemptExhausted(src, dst topology.Node, entry *circuit.Entry)
 		// repeated failures out without randomness that could diverge
 		// across runs.
 		at := m.Fab.Now() + backoff*int64(ds.retries)
-		m.Fab.ScheduleAt(src, at, func(int64) {
-			force := m.Opt.ForceFirst && m.Kind == CLRP
-			if force {
-				m.Ctr.Phase2Entered++
-				m.ev(events.Phase2, int(src), int(dst), 0)
-			}
-			m.probeNext(src, dst, entry, entry.InitialSwitch, 0, force)
-		})
+		m.Fab.ScheduleRetry(src, dst, at)
 		return
 	}
 	m.setupFailed(src, dst, entry)
@@ -525,9 +539,32 @@ func (m *Manager) pump(src, dst topology.Node, entry *circuit.Entry) {
 	ds.queue = ds.queue[1:]
 	m.Ctr.CircuitWaitCycles += m.Fab.Now() - msg.InjectTime
 	m.Ctr.CircuitSendsStarted++
-	m.Fab.SendOnCircuit(entry, msg, func() {
-		m.pump(src, dst, entry)
-	})
+	m.Fab.SendOnCircuit(entry, msg, nil)
+}
+
+// retryFire is the registered setup-retry handler: the deterministic
+// backoff timer expired and the probe sequence re-launches from the top.
+func (m *Manager) retryFire(src, dst topology.Node, now int64) {
+	entry, ok := m.Fab.Cache(src).Peek(dst)
+	if !ok {
+		return
+	}
+	force := m.Opt.ForceFirst && m.Kind == CLRP
+	if force {
+		m.Ctr.Phase2Entered++
+		m.ev(events.Phase2, int(src), int(dst), 0)
+	}
+	m.probeNext(src, dst, entry, entry.InitialSwitch, 0, force)
+}
+
+// circuitIdle is the registered circuit-ack handler: the previous transfer
+// finished and the circuit can carry the next queued message.
+func (m *Manager) circuitIdle(src, dst topology.Node) {
+	entry, ok := m.Fab.Cache(src).Peek(dst)
+	if !ok {
+		return
+	}
+	m.pump(src, dst, entry)
 }
 
 // circuitFreed is the fabric's notification that a circuit at src towards dst

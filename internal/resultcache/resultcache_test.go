@@ -1,0 +1,132 @@
+package resultcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestKeyStable: Key is a pure function of the decoded value — map
+// insertion order (the in-memory analogue of JSON field order) must not
+// leak into the address.
+func TestKeyStable(t *testing.T) {
+	a := map[string]any{}
+	a["alpha"] = 1
+	a["beta"] = "x"
+	a["gamma"] = []int{1, 2, 3}
+	b := map[string]any{}
+	b["gamma"] = []int{1, 2, 3}
+	b["beta"] = "x"
+	b["alpha"] = 1
+	ka, err := Key(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := Key(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatalf("same value hashed to %s and %s", ka, kb)
+	}
+	if len(ka) != 64 {
+		t.Fatalf("key %q is not a sha256 hex digest", ka)
+	}
+	b["alpha"] = 2
+	if kc, _ := Key(b); kc == ka {
+		t.Fatal("distinct values collided")
+	}
+}
+
+func TestMemoryLRU(t *testing.T) {
+	c := New(2, "")
+	c.Put("aa", []byte("1"))
+	c.Put("bb", []byte("2"))
+	if _, ok := c.Get("aa"); !ok {
+		t.Fatal("aa missing")
+	}
+	c.Put("cc", []byte("3")) // evicts bb: aa was refreshed by the Get above
+	if _, ok := c.Get("bb"); ok {
+		t.Fatal("bb survived eviction")
+	}
+	if _, ok := c.Get("aa"); !ok {
+		t.Fatal("aa evicted out of LRU order")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("counters %+v, want 1 eviction / 2 hits / 1 miss", st)
+	}
+}
+
+// TestDiskTier: a write-through entry survives memory eviction and a fresh
+// cache over the same directory; disk hits promote back into memory.
+func TestDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	key, err := Key("spec-one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(1, dir)
+	c.Put(key, []byte("result-one"))
+	c.Put("ffff", []byte("other")) // evicts key from memory
+	got, ok := c.Get(key)
+	if !ok || !bytes.Equal(got, []byte("result-one")) {
+		t.Fatalf("disk fallback returned %q, %v", got, ok)
+	}
+	if st := c.Stats(); st.DiskHits != 1 {
+		t.Fatalf("disk hits %d, want 1", st.DiskHits)
+	}
+
+	fresh := New(4, dir)
+	got, ok = fresh.Get(key)
+	if !ok || !bytes.Equal(got, []byte("result-one")) {
+		t.Fatalf("fresh cache over same dir returned %q, %v", got, ok)
+	}
+	// No stray temp files left behind by the atomic write path.
+	ms, _ := filepath.Glob(filepath.Join(dir, "put-*"))
+	if len(ms) != 0 {
+		t.Fatalf("leftover temp files: %v", ms)
+	}
+}
+
+// TestDiskPathRejectsTraversal: only plain hex names touch the filesystem.
+func TestDiskPathRejectsTraversal(t *testing.T) {
+	dir := t.TempDir()
+	c := New(4, dir)
+	for _, k := range []string{"../escape", "a/b", "UPPER", "zz..", ""} {
+		c.Put(k, []byte("x"))
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("non-hex keys reached disk: %v", ents)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(8, "")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k, _ := Key(fmt.Sprintf("k%d", (g+i)%16))
+				if v, ok := c.Get(k); ok && len(v) == 0 {
+					t.Error("empty value from cache")
+					return
+				}
+				c.Put(k, []byte{byte(g), byte(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Fatalf("memory tier overflowed capacity: %d", c.Len())
+	}
+}

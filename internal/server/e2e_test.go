@@ -171,12 +171,13 @@ func TestCancelRunningJob(t *testing.T) {
 // long-running job is refused with 429 and a Retry-After hint.
 func TestBackpressure429(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 1})
-	long := quickSpec(1, 2_000_000_000)
-	running := submit(t, ts, long)
+	// Distinct seeds: identical specs would coalesce onto the running job
+	// via the single-flight table and never occupy a queue slot.
+	running := submit(t, ts, quickSpec(1, 2_000_000_000))
 	waitState(t, ts, running.ID, func(st State) bool { return st == StateRunning })
-	queued := submit(t, ts, long) // fills the single queue slot
+	queued := submit(t, ts, quickSpec(2, 2_000_000_000)) // fills the single queue slot
 
-	resp, body := doReq(t, ts, "POST", "/v1/jobs", long)
+	resp, body := doReq(t, ts, "POST", "/v1/jobs", quickSpec(3, 2_000_000_000))
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d body %s, want 429", resp.StatusCode, body)
 	}

@@ -15,6 +15,10 @@ import (
 //	                             503 while draining, 400 on a bad spec,
 //	                             422 + certificate when the configuration
 //	                             fails static deadlock/livelock verification)
+//	POST   /v1/batch            submit N specs at once → 200 + N job refs,
+//	                            in order; duplicates of cached or in-flight
+//	                            work share one simulation, and per-item
+//	                            failures ride alongside accepted jobs
 //	POST   /v1/verify           certify a configuration without running it:
 //	                            200 + certificate when proven safe, 422 +
 //	                            certificate (with counterexample) when not,
@@ -29,6 +33,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
@@ -78,6 +83,55 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Location", "/v1/jobs/"+j.ID)
 		writeJSON(w, http.StatusCreated, j.view(false))
 	}
+}
+
+// maxBatchSpecs bounds one /v1/batch request; beyond it a client should
+// split the batch (the limit exists so a single request cannot mint an
+// unbounded number of job records).
+const maxBatchSpecs = 256
+
+// handleBatch submits a whole slice of specs in one request. The response
+// carries one item per spec, in order: an accepted spec yields its job
+// view ("job"), a rejected one its error string ("error") — partial
+// acceptance is the point, so the status is 200 whenever the batch itself
+// was well-formed. Content addressing makes batches cheap: items identical
+// to a cached result settle instantly, items identical to each other or to
+// an in-flight job coalesce onto one simulation, and only novel specs
+// occupy queue slots.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	var req struct {
+		Specs []Spec `json:"specs"`
+	}
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad batch: "+err.Error())
+		return
+	}
+	if len(req.Specs) == 0 {
+		httpError(w, http.StatusBadRequest, "batch needs at least one spec")
+		return
+	}
+	if len(req.Specs) > maxBatchSpecs {
+		httpError(w, http.StatusBadRequest,
+			"batch too large: "+strconv.Itoa(len(req.Specs))+" specs (max "+strconv.Itoa(maxBatchSpecs)+")")
+		return
+	}
+	type item struct {
+		Job   *View  `json:"job,omitempty"`
+		Error string `json:"error,omitempty"`
+	}
+	items := make([]item, len(req.Specs))
+	for i, sp := range req.Specs {
+		j, err := s.Submit(sp)
+		if err != nil {
+			items[i].Error = err.Error()
+			continue
+		}
+		v := j.view(false)
+		items[i].Job = &v
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": items})
 }
 
 // handleVerify certifies a configuration without queueing anything: the

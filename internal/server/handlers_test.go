@@ -268,12 +268,13 @@ func TestRetryAfterNeverZero(t *testing.T) {
 // a client sees is a parseable, positive integer (RFC 9110 delta-seconds).
 func TestRetryAfterHeaderParses(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 1})
-	long := quickSpec(1, 2_000_000_000)
-	running := submit(t, ts, long)
+	// Distinct seeds: identical specs coalesce via the single-flight table
+	// instead of filling the queue.
+	running := submit(t, ts, quickSpec(101, 2_000_000_000))
 	waitState(t, ts, running.ID, func(st State) bool { return st == StateRunning })
-	queued := submit(t, ts, long)
+	queued := submit(t, ts, quickSpec(102, 2_000_000_000))
 
-	resp, _ := doReq(t, ts, "POST", "/v1/jobs", long)
+	resp, _ := doReq(t, ts, "POST", "/v1/jobs", quickSpec(103, 2_000_000_000))
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", resp.StatusCode)
 	}

@@ -82,6 +82,11 @@ type Job struct {
 	ID   string
 	Spec Spec
 
+	// cacheKey is the spec's content address (Spec.cacheKey), set once at
+	// submit before the job is shared and immutable after — the handle the
+	// result cache and single-flight table dedupe on.
+	cacheKey string
+
 	rateBits atomic.Uint64 // float64 bits: cycles/s over the last interval
 	workers  atomic.Int64  // engine workers driving the sim (0 until running)
 

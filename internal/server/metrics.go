@@ -30,6 +30,12 @@ type metrics struct {
 	verifyCertified atomic.Int64
 	verifyRejected  atomic.Int64
 	verifyCacheHits atomic.Int64
+
+	// inflightJoins counts submissions coalesced onto an identical live job
+	// by the single-flight table (the result-cache counters themselves live
+	// in resultcache.Cache; the exposition folds joins into the hit total —
+	// either way the submission was answered without a new simulation).
+	inflightJoins atomic.Int64
 }
 
 // WriteMetrics renders the Prometheus text exposition format (0.0.4).
@@ -62,7 +68,8 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		{"waved_jobs_rejected_total", "counter",
 			"Submissions refused with 429 (queue full).",
 			float64(s.metrics.rejected.Load())},
-		{"waved_jobs_completed_total", "counter", "Jobs finished successfully.",
+		{"waved_jobs_completed_total", "counter",
+			"Jobs that executed a simulation to completion (cache hits and coalesced twins are counted under waved_cache_hits_total instead).",
 			float64(s.metrics.completed.Load())},
 		{"waved_jobs_failed_total", "counter", "Jobs finished with an error.",
 			float64(s.metrics.failed.Load())},
@@ -91,6 +98,31 @@ func (s *Server) WriteMetrics(w io.Writer) {
 			"Certification requests answered from the verdict cache.",
 			float64(s.metrics.verifyCacheHits.Load())},
 	}
+	cs := s.cache.Stats()
+	storeHits, storeMisses, storeEvictions := s.store.counters()
+	rows = append(rows,
+		row{"waved_cache_hits_total", "counter",
+			"Submissions answered without a new simulation: stored result bytes or coalesced onto an identical in-flight job.",
+			float64(cs.Hits + s.metrics.inflightJoins.Load())},
+		row{"waved_cache_misses_total", "counter",
+			"Result-cache lookups that found no stored bytes.",
+			float64(cs.Misses)},
+		row{"waved_cache_evictions_total", "counter",
+			"Entries evicted from the result cache's memory tier.",
+			float64(cs.Evictions)},
+		row{"waved_cache_disk_hits_total", "counter",
+			"Result-cache hits promoted from the disk tier.",
+			float64(cs.DiskHits)},
+		row{"waved_store_hits_total", "counter",
+			"Job-ID lookups that resolved in the store.",
+			float64(storeHits)},
+		row{"waved_store_misses_total", "counter",
+			"Job-ID lookups that missed (unknown or evicted IDs).",
+			float64(storeMisses)},
+		row{"waved_store_evictions_total", "counter",
+			"Terminal job records evicted from the store LRU.",
+			float64(storeEvictions)},
+	)
 	for _, r := range rows {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n",
 			r.name, r.help, r.name, r.typ, r.name, r.value)

@@ -16,6 +16,9 @@ import (
 func (s *Server) execute(j *Job) {
 	base, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// However the job ends — result, error, or cancelled-before-start — its
+	// single-flight entry must settle so followers terminate too.
+	defer s.completeFlight(j)
 	if !j.start(cancel, time.Now()) {
 		return // cancelled while queued; requestCancel already settled it
 	}

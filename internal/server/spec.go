@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/resultcache"
 	"repro/wave"
 )
 
@@ -78,6 +79,28 @@ func (sp *Spec) simConfig() wave.Config {
 		return wave.Config(*sp.Config)
 	}
 	return wave.DefaultConfig()
+}
+
+// cacheKey returns the spec's content address: the SHA-256 of the canonical
+// effective spec. "Effective" means post-normalize with every default
+// materialised — the simulator config merged over DefaultConfig and nil
+// experiment params resolved to the Quick scale — and with the two fields
+// that cannot affect the result bytes (timeout_sec, the progress interval)
+// zeroed out. Two submissions that would run the same simulation hash
+// identically regardless of JSON field order or which defaults the client
+// spelled out; that address is what the result cache and the single-flight
+// table dedupe on.
+func (sp *Spec) cacheKey() (string, error) {
+	cp := *sp
+	cp.TimeoutSec = 0
+	cp.IntervalCycles = 0
+	ec := SimConfig(sp.simConfig())
+	cp.Config = &ec
+	if cp.Kind == KindExperiment && cp.Params == nil {
+		p := experiments.Quick()
+		cp.Params = &p
+	}
+	return resultcache.Key(&cp)
 }
 
 // experimentFn resolves an experiment ID against the registry.

@@ -3,17 +3,28 @@ package server
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // store holds job records by ID with LRU eviction restricted to terminal
 // jobs: capacity bounds memory, but a queued or running job is never
 // evicted, so a submitted ID stays resolvable through its whole lifecycle
 // (the store may transiently exceed capacity while many jobs are live).
+// hits/misses/evictions are monotonic counters over the store's lifetime,
+// exposed on /metrics so operators can see lookups bouncing off evicted
+// records and size the store accordingly.
 type store struct {
 	mu  sync.Mutex
 	cap int
 	m   map[string]*list.Element
 	l   *list.List // front = most recently used; values are *Job
+
+	hits, misses, evictions atomic.Int64
+}
+
+// counters snapshots the hit/miss/eviction totals.
+func (st *store) counters() (hits, misses, evictions int64) {
+	return st.hits.Load(), st.misses.Load(), st.evictions.Load()
 }
 
 func newStore(capacity int) *store {
@@ -53,6 +64,7 @@ func (st *store) evictLocked() {
 		}
 		delete(st.m, victim.Value.(*Job).ID)
 		st.l.Remove(victim)
+		st.evictions.Add(1)
 	}
 }
 
@@ -62,8 +74,10 @@ func (st *store) get(id string) (*Job, bool) {
 	defer st.mu.Unlock()
 	e, ok := st.m[id]
 	if !ok {
+		st.misses.Add(1)
 		return nil, false
 	}
+	st.hits.Add(1)
 	st.l.MoveToFront(e)
 	return e.Value.(*Job), true
 }

@@ -1,13 +1,13 @@
 package server
 
 import (
-	"encoding/json"
 	"fmt"
 	"sync"
 
 	"repro/internal/fault"
 	"repro/internal/pcs"
 	"repro/internal/protocol"
+	"repro/internal/resultcache"
 	"repro/internal/verify"
 	"repro/wave"
 )
@@ -44,7 +44,10 @@ type verdictCache struct {
 // function's minimum); an uncertified configuration comes back as a
 // certificate with Certified == false.
 func (s *Server) certifyConfig(cfg wave.Config, staticFaults int) (*verify.Certificate, error) {
-	key, err := json.Marshal(struct {
+	// Same canonical addressing as the result cache (resultcache.Key):
+	// struct-order-stable JSON hashed to a fixed-width digest, so any two
+	// spellings of the same effective configuration share one verdict.
+	key, err := resultcache.Key(struct {
 		Cfg    wave.Config
 		Faults int
 	}{cfg, staticFaults})
@@ -52,7 +55,7 @@ func (s *Server) certifyConfig(cfg wave.Config, staticFaults int) (*verify.Certi
 		return nil, fmt.Errorf("canonicalize config: %w", err)
 	}
 	s.verdicts.mu.Lock()
-	if cert, ok := s.verdicts.m[string(key)]; ok {
+	if cert, ok := s.verdicts.m[key]; ok {
 		s.verdicts.mu.Unlock()
 		s.metrics.verifyCacheHits.Add(1)
 		return cert, nil
@@ -105,7 +108,7 @@ func (s *Server) certifyConfig(cfg wave.Config, staticFaults int) (*verify.Certi
 	if len(s.verdicts.m) >= verdictCacheMax {
 		s.verdicts.m = make(map[string]*verify.Certificate)
 	}
-	s.verdicts.m[string(key)] = cert
+	s.verdicts.m[key] = cert
 	s.verdicts.mu.Unlock()
 	return cert, nil
 }

@@ -27,6 +27,11 @@ func NewRNG(seed uint64) *RNG {
 // Seed resets the generator to the stream identified by seed.
 func (r *RNG) Seed(seed uint64) { r.state = seed }
 
+// State returns the current internal state. Seed(State()) on another
+// generator reproduces the stream from this exact point — the snapshot
+// machinery uses the pair to checkpoint RNG streams bit-exactly.
+func (r *RNG) State() uint64 { return r.state }
+
 // Uint64 returns the next value in the stream.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -78,6 +78,17 @@ func (w *Watchdog) Check(now int64, oldestAge int64, inFlight int) error {
 	return nil
 }
 
+// SaveState returns the watchdog's mutable state (pending progress flag,
+// current stall run) for checkpointing.
+func (w *Watchdog) SaveState() (progressed bool, stallRun int64) {
+	return w.progressed, w.stallRun
+}
+
+// RestoreState reinstates state captured by SaveState.
+func (w *Watchdog) RestoreState(progressed bool, stallRun int64) {
+	w.progressed, w.stallRun = progressed, stallRun
+}
+
 // Advance replays `cycles` consecutive progress-free Check calls in O(1):
 // cycle `now` through now+cycles-1, with the oldest message age starting at
 // oldestAge and growing by one per cycle, and a constant in-flight count. It

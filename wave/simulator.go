@@ -41,12 +41,24 @@ type Simulator struct {
 
 	onDelivered func(Delivery)
 
+	// load is the resumable state of an in-progress RunLoad; it survives a
+	// Snapshot/Restore round trip so a checkpointed load run can continue
+	// via ResumeLoad.
+	load *loadRun
+
 	intervalEvery int64
 	intervalFn    func(now int64)
 }
 
 // New builds a simulator from the configuration.
 func New(cfg Config) (*Simulator, error) {
+	return newSimulator(cfg, true)
+}
+
+// newSimulator is New with the fault-schedule installation optional:
+// Restore skips it, because the pending fault events of a snapshotted run
+// ride the serialised event queue.
+func newSimulator(cfg Config, installFaults bool) (*Simulator, error) {
 	topo, err := cfg.Topology.Build()
 	if err != nil {
 		return nil, err
@@ -67,6 +79,9 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	s.mgr, err = protocol.New(topo, cfg.coreParams(), kind, opt, protocol.Hooks{
 		Delivered: func(m flit.Message, now int64, viaCircuit bool) {
+			if s.load != nil {
+				s.load.run.Record(m.InjectTime, now, m.Len, viaCircuit)
+			}
 			if s.onDelivered != nil {
 				s.onDelivered(Delivery{
 					ID: m.ID, Src: m.Src, Dst: m.Dst, Len: m.Len,
@@ -79,9 +94,11 @@ func New(cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := s.installFaultSchedule(); err != nil {
-		s.Close()
-		return nil, err
+	if installFaults {
+		if err := s.installFaultSchedule(); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 	return s, nil
 }

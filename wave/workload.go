@@ -107,19 +107,27 @@ func (r Result) String() string {
 		r.CircuitFraction*100, r.HitRate*100)
 }
 
-// RunLoad drives the simulator with open-loop traffic: `warmup` cycles to
-// reach steady state (deliveries excluded), then `measure` cycles of
-// recorded traffic, then a drain so every injected message completes. It
-// returns aggregate statistics. The simulator must be freshly constructed
-// (cycle 0) for meaningful warm-up handling.
-func (s *Simulator) RunLoad(w Workload, warmup, measure int64) (*Result, error) {
-	return s.RunLoadContext(context.Background(), w, warmup, measure)
+// loadRun is the resumable state of an in-progress RunLoad: the workload,
+// its traffic generator and statistics collector, and the absolute cycle
+// bounds of the injection and drain phases. Holding it on the Simulator —
+// rather than in RunLoad's frame — is what lets a checkpoint taken mid-run
+// capture it and ResumeLoad pick the run back up bit-exactly.
+type loadRun struct {
+	w       Workload
+	gen     *traffic.Generator
+	run     *stats.Run
+	warmup  int64
+	measure int64
+	// end is the absolute cycle at which injection stops; drainDeadline the
+	// absolute cycle by which the drain must complete. Absolute bounds make
+	// a resumed run behave exactly like the uninterrupted one.
+	end           int64
+	drainDeadline int64
 }
 
-// RunLoadContext is RunLoad with between-cycle cancellation: a cancelled
-// run returns the context's error as soon as the current cycle completes,
-// leaving the simulator consistent (counters and Stats remain inspectable).
-func (s *Simulator) RunLoadContext(ctx context.Context, w Workload, warmup, measure int64) (*Result, error) {
+// buildGenerator constructs the workload's traffic generator (pattern,
+// optional locality wrapper, length distribution, seeded RNG stream).
+func (s *Simulator) buildGenerator(w Workload) (*traffic.Generator, error) {
 	pat, err := traffic.NewPattern(w.Pattern, s.topo)
 	if err != nil {
 		return nil, err
@@ -138,40 +146,77 @@ func (s *Simulator) RunLoadContext(ctx context.Context, w Workload, warmup, meas
 	if seed == 0 {
 		seed = s.cfg.Seed + 1
 	}
-	gen, err := traffic.NewGenerator(pat, dist, w.Load, s.topo.Nodes(), seed)
+	return traffic.NewGenerator(pat, dist, w.Load, s.topo.Nodes(), seed)
+}
+
+// RunLoad drives the simulator with open-loop traffic: `warmup` cycles to
+// reach steady state (deliveries excluded), then `measure` cycles of
+// recorded traffic, then a drain so every injected message completes. It
+// returns aggregate statistics. The simulator must be freshly constructed
+// (cycle 0) for meaningful warm-up handling.
+func (s *Simulator) RunLoad(w Workload, warmup, measure int64) (*Result, error) {
+	return s.RunLoadContext(context.Background(), w, warmup, measure)
+}
+
+// RunLoadContext is RunLoad with between-cycle cancellation: a cancelled
+// run returns the context's error as soon as the current cycle completes,
+// leaving the simulator consistent (counters and Stats remain inspectable,
+// and a Snapshot taken now can be resumed with ResumeLoad).
+func (s *Simulator) RunLoadContext(ctx context.Context, w Workload, warmup, measure int64) (*Result, error) {
+	gen, err := s.buildGenerator(w)
 	if err != nil {
 		return nil, err
 	}
-
-	run := stats.NewRun(s.now + warmup)
-	prev := s.onDelivered // chain, don't clobber, a user callback
-	s.OnDelivered(func(d Delivery) {
-		run.Record(d.Injected, d.Delivered, d.Len, d.ViaCircuit)
-		if prev != nil {
-			prev(d)
-		}
-	})
-	defer s.OnDelivered(prev)
-
 	end := s.now + warmup + measure
-	for s.now < end {
-		gen.Tick(func(src, dst topology.Node, length int) {
-			s.mgr.Send(src, dst, length, s.now, w.WantCircuit)
+	s.load = &loadRun{
+		w: w, gen: gen, run: stats.NewRun(s.now + warmup),
+		warmup: warmup, measure: measure,
+		end: end,
+		// Drain with a generous budget so tail latencies are complete.
+		drainDeadline: end + (warmup+measure)*20,
+	}
+	return s.finishLoad(ctx)
+}
+
+// ResumeLoad continues a load run restored mid-flight from a snapshot (or
+// interrupted by context cancellation), returning the same Result the
+// uninterrupted RunLoad would have.
+func (s *Simulator) ResumeLoad() (*Result, error) {
+	return s.ResumeLoadContext(context.Background())
+}
+
+// ResumeLoadContext is ResumeLoad with between-cycle cancellation.
+func (s *Simulator) ResumeLoadContext(ctx context.Context) (*Result, error) {
+	if s.load == nil {
+		return nil, fmt.Errorf("wave: no load run in progress to resume")
+	}
+	return s.finishLoad(ctx)
+}
+
+// finishLoad drives the current load run to completion from wherever the
+// clock stands: injection until the measurement window closes, then the
+// drain, then the aggregate Result. On error (cancellation, watchdog) the
+// load state stays armed so the run can be checkpointed and resumed.
+func (s *Simulator) finishLoad(ctx context.Context) (*Result, error) {
+	ld := s.load
+	for s.now < ld.end {
+		ld.gen.Tick(func(src, dst topology.Node, length int) {
+			s.mgr.Send(src, dst, length, s.now, ld.w.WantCircuit)
 		})
 		if err := s.stepCtx(ctx); err != nil {
 			return nil, err
 		}
 	}
-	// Drain with a generous budget so tail latencies are complete.
-	if err := s.DrainContext(ctx, (warmup+measure)*20); err != nil {
+	if err := s.DrainContext(ctx, ld.drainDeadline-s.now); err != nil {
 		return nil, err
 	}
 
+	run := ld.run
 	cs := s.CacheStats()
 	ctr := s.mgr.Ctr
 	res := &Result{
 		Protocol:           s.cfg.Protocol,
-		Workload:           w,
+		Workload:           ld.w,
 		Cycles:             s.now,
 		Delivered:          run.MsgsDelivered,
 		AvgLatency:         run.Latency.Mean(),
@@ -196,6 +241,7 @@ func (s *Simulator) RunLoadContext(ctx context.Context, w Workload, warmup, meas
 	if ctr.CircuitSendsStarted > 0 {
 		res.AvgCircuitWait = float64(ctr.CircuitWaitCycles) / float64(ctr.CircuitSendsStarted)
 	}
+	s.load = nil
 	return res, nil
 }
 
