@@ -146,6 +146,7 @@ type benchReport struct {
 	Faulted   *faultedReport   `json:"faulted,omitempty"`
 	Multicore *multicoreReport `json:"multicore,omitempty"`
 	Cache     *cacheReport     `json:"cache,omitempty"`
+	Megatopo  *megatopoReport  `json:"megatopo,omitempty"`
 }
 
 // benchConfig is the E7-style 16x16 stress configuration: near-saturation
@@ -353,6 +354,14 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 		return err
 	}
 
+	// Mega-topology scaling: compressed per-dimension routing tables at
+	// 32x32 (flat baseline), 64x64 and 128x128, with compression and
+	// determinism hard gates.
+	megaRep, err := runBenchMegatopo(seed)
+	if err != nil {
+		return err
+	}
+
 	rep := benchReport{
 		Benchmark:      "e7-stress-16x16",
 		Generated:      time.Now().UTC().Format(time.RFC3339),
@@ -373,6 +382,7 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 		Faulted:        faulted,
 		Multicore:      mc,
 		Cache:          cacheRep,
+		Megatopo:       megaRep,
 	}
 	if runtime.NumCPU() == 1 {
 		rep.Note = "single-CPU host: workers cannot overlap, so parallel speedup hovers near 1.0; stats_identical still certifies the determinism contract"
@@ -430,5 +440,6 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 	fmt.Fprintf(out, "bench multicore: gomaxprocs %d, best speedup %.2fx, auto selected %d worker(s), alloc parity %v, stats identical %v\n",
 		mc.GoMaxProcs, mc.BestSpeedupOverSerial, mc.AutoWorkersSelected, mc.AllocParity, mc.StatsIdentical)
 	printBenchCache(out, cacheRep)
+	printBenchMegatopo(out, megaRep)
 	return nil
 }

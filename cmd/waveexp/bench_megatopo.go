@@ -1,0 +1,218 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/wave"
+)
+
+// megatopoPoint is one topology size of the mega-topology scaling section.
+type megatopoPoint struct {
+	Topology string `json:"topology"`
+	Nodes    int    `json:"nodes"`
+
+	// Routing-table selection at this size.
+	TableMode         string  `json:"table_mode"`
+	TableBytes        int     `json:"table_bytes"`
+	TableBytesPerNode float64 `json:"table_bytes_per_node"`
+	// FlatBytesPerNodeExtrap extrapolates the measured flat baseline's
+	// O(N^2) growth to this node count; CompressedToFlatRatio is the
+	// headline compression (gated <= 5% at 64x64).
+	FlatBytesPerNodeExtrap float64 `json:"flat_bytes_per_node_extrapolated"`
+	CompressedToFlatRatio  float64 `json:"compressed_to_flat_ratio"`
+
+	// BuildSeconds is simulator construction time (topology, engines,
+	// routing table); HeapDeltaBytes is the resident growth it caused —
+	// the "sane memory budget" evidence at 128x128.
+	BuildSeconds   float64 `json:"build_seconds"`
+	HeapDeltaBytes uint64  `json:"heap_delta_bytes"`
+
+	Run benchRun `json:"run"`
+}
+
+// megatopoReport is the -bench-json `megatopo` section: compressed
+// per-dimension routing tables driving 32x32 (flat baseline), 64x64 and
+// 128x128 tori, with the determinism and compression hard gates recorded.
+type megatopoReport struct {
+	Pattern  string  `json:"pattern"`
+	Load     float64 `json:"load_flits_node_cycle"`
+	MsgFlits int     `json:"message_flits"`
+	Warmup   int64   `json:"warmup_cycles"`
+	Measure  int64   `json:"measure_cycles"`
+
+	// FlatBaseline* record the measured flat table at the gate size the
+	// extrapolation scales from.
+	FlatBaselineNodes int `json:"flat_baseline_nodes"`
+	FlatBaselineBytes int `json:"flat_baseline_bytes"`
+
+	Points []megatopoPoint `json:"points"`
+
+	// Hard-gate outcomes at 64x64: serial vs parallel Stats identity, and
+	// table-backed vs DisableRoutingTable algorithmic-oracle identity.
+	Stats64Identical  bool `json:"stats_64_identical"`
+	Oracle64Identical bool `json:"oracle_64_identical"`
+}
+
+// megatopoConfig is the common mega-run shape: CLRP over duato with light
+// uniform traffic — the section measures scale, not saturation.
+func megatopoConfig(radix int, seed uint64) wave.Config {
+	cfg := wave.DefaultConfig()
+	cfg.Topology = wave.TopologyConfig{Kind: "torus", Radix: []int{radix, radix}}
+	cfg.Seed = seed
+	return cfg
+}
+
+// runBenchMegatopo measures the mega-topology section and enforces its hard
+// gates. Workloads are short: the interesting numbers are construction
+// cost, table bytes/node and steady-state cycles/s, all visible in a few
+// hundred cycles.
+func runBenchMegatopo(seed uint64) (*megatopoReport, error) {
+	w := wave.Workload{Pattern: "uniform", Load: 0.02, FixedLength: 16}
+	const warmup, measure = int64(100), int64(300)
+
+	measure1 := func(name string, cfg wave.Config) (megatopoPoint, wave.Stats, error) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		buildStart := time.Now()
+		s, err := wave.New(cfg)
+		if err != nil {
+			return megatopoPoint{}, wave.Stats{}, fmt.Errorf("%s: %w", name, err)
+		}
+		defer s.Close()
+		buildWall := time.Since(buildStart).Seconds()
+		runtime.ReadMemStats(&after)
+		rt := s.RoutingTableInfo()
+
+		start := time.Now()
+		res, err := s.RunLoad(w, warmup, measure)
+		if err != nil {
+			return megatopoPoint{}, wave.Stats{}, fmt.Errorf("%s: %w", name, err)
+		}
+		wall := time.Since(start).Seconds()
+		st := s.Stats()
+		nodes := s.Nodes()
+		pt := megatopoPoint{
+			Topology:          fmt.Sprintf("torus %dx%d", cfg.Topology.Radix[0], cfg.Topology.Radix[1]),
+			Nodes:             nodes,
+			TableMode:         rt.Mode,
+			TableBytes:        rt.Bytes,
+			TableBytesPerNode: float64(rt.Bytes) / float64(nodes),
+			BuildSeconds:      buildWall,
+			Run: benchRun{
+				Name:            name,
+				Workers:         cfg.Workers,
+				WallSeconds:     wall,
+				Cycles:          st.Cycle,
+				CyclesPerSecond: float64(st.Cycle) / wall,
+				Delivered:       res.Delivered,
+				Throughput:      res.Throughput,
+				AvgLatency:      res.AvgLatency,
+				P99Latency:      res.P99Latency,
+				WorkersSelected: s.EngineWorkers(),
+			},
+		}
+		if after.HeapAlloc > before.HeapAlloc {
+			pt.HeapDeltaBytes = after.HeapAlloc - before.HeapAlloc
+		}
+		return pt, st, nil
+	}
+
+	// 32x32 = 1024 nodes: exactly the flat-table gate, the measured O(N^2)
+	// baseline the larger sizes extrapolate against.
+	cfg32 := megatopoConfig(32, seed)
+	cfg32.Workers = 1
+	p32, _, err := measure1("megatopo-32x32-flat", cfg32)
+	if err != nil {
+		return nil, err
+	}
+	if p32.TableMode != "flat" {
+		return nil, fmt.Errorf("bench megatopo: 32x32 selected %q routing table, want flat baseline", p32.TableMode)
+	}
+
+	// 64x64 = 4096 nodes: the acceptance point — compressed table, serial
+	// vs parallel identity, and identity against the algorithmic oracle.
+	cfg64 := megatopoConfig(64, seed)
+	cfg64.Workers = 1
+	p64, st64, err := measure1("megatopo-64x64-compressed", cfg64)
+	if err != nil {
+		return nil, err
+	}
+	cfg64p := megatopoConfig(64, seed)
+	cfg64p.Workers = 2
+	_, st64p, err := measure1("megatopo-64x64-workers2", cfg64p)
+	if err != nil {
+		return nil, err
+	}
+	cfg64o := megatopoConfig(64, seed)
+	cfg64o.Workers = 1
+	cfg64o.DisableRoutingTable = true
+	_, st64o, err := measure1("megatopo-64x64-oracle", cfg64o)
+	if err != nil {
+		return nil, err
+	}
+
+	// 128x128 = 16384 nodes: the flat arena would extrapolate to ~10 GiB;
+	// the compressed build must stay in the tens of megabytes total.
+	cfg128 := megatopoConfig(128, seed)
+	cfg128.Workers = 1
+	p128, _, err := measure1("megatopo-128x128-compressed", cfg128)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &megatopoReport{
+		Pattern:           w.Pattern,
+		Load:              w.Load,
+		MsgFlits:          w.FixedLength,
+		Warmup:            warmup,
+		Measure:           measure,
+		FlatBaselineNodes: p32.Nodes,
+		FlatBaselineBytes: p32.TableBytes,
+		Stats64Identical:  st64 == st64p,
+		Oracle64Identical: st64 == st64o,
+	}
+	for _, pt := range []*megatopoPoint{&p32, &p64, &p128} {
+		scale := float64(pt.Nodes) / float64(p32.Nodes)
+		pt.FlatBytesPerNodeExtrap = float64(p32.TableBytes) / float64(p32.Nodes) * scale
+		if pt.FlatBytesPerNodeExtrap > 0 {
+			pt.CompressedToFlatRatio = pt.TableBytesPerNode / pt.FlatBytesPerNodeExtrap
+		}
+	}
+	rep.Points = []megatopoPoint{p32, p64, p128}
+
+	// Hard gates.
+	if p64.TableMode != "compressed" {
+		return nil, fmt.Errorf("bench megatopo: 64x64 selected %q routing table, want compressed (no fallback)", p64.TableMode)
+	}
+	if p128.TableMode != "compressed" {
+		return nil, fmt.Errorf("bench megatopo: 128x128 selected %q routing table, want compressed", p128.TableMode)
+	}
+	if p64.CompressedToFlatRatio > 0.05 {
+		return nil, fmt.Errorf("bench megatopo: compressed table at 64x64 is %.2f%% of the flat extrapolation, gate is 5%%",
+			100*p64.CompressedToFlatRatio)
+	}
+	if !rep.Stats64Identical {
+		return nil, fmt.Errorf("bench megatopo: serial and workers=2 Stats diverged at 64x64 — determinism bug")
+	}
+	if !rep.Oracle64Identical {
+		return nil, fmt.Errorf("bench megatopo: compressed-table Stats diverged from the algorithmic oracle at 64x64 — lookup bug")
+	}
+	return rep, nil
+}
+
+// printBenchMegatopo writes the human-readable summary line.
+func printBenchMegatopo(out io.Writer, rep *megatopoReport) {
+	if rep == nil {
+		return
+	}
+	p64 := rep.Points[1]
+	p128 := rep.Points[2]
+	fmt.Fprintf(out, "bench megatopo: 64x64 %s %.1f B/node (%.2f%% of flat extrapolation), %.0f cycles/s; 128x128 built in %.2fs (%.1f MiB heap), %.0f cycles/s; identical: workers %v, oracle %v\n",
+		p64.TableMode, p64.TableBytesPerNode, 100*p64.CompressedToFlatRatio, p64.Run.CyclesPerSecond,
+		p128.BuildSeconds, float64(p128.HeapDeltaBytes)/(1<<20), p128.Run.CyclesPerSecond,
+		rep.Stats64Identical, rep.Oracle64Identical)
+}

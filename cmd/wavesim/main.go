@@ -282,6 +282,15 @@ func run(args []string, out io.Writer) error {
 	if *workers == 0 {
 		fmt.Fprintf(out, " (auto-tuned)")
 	}
+	rt := sim.RoutingTableInfo()
+	switch {
+	case rt.Gated:
+		fmt.Fprintf(out, ", routing table GATED (algorithmic fallback)")
+	case rt.Mode == "algorithmic":
+		fmt.Fprintf(out, ", routing table disabled (algorithmic)")
+	default:
+		fmt.Fprintf(out, ", routing table %s (%s)", rt.Mode, fmtBytes(rt.Bytes))
+	}
 	fmt.Fprintln(out)
 	fmt.Fprintf(out, "workload        %s, load %.3f flits/node/cycle, %d-flit messages", *pattern, *load, *msgLen)
 	if *wset > 0 {
@@ -374,6 +383,19 @@ func writeSnapshot(sim *wave.Simulator, path string) error {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix for the engine
+// report line.
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // printStatsDigest prints the SHA-256 of the final Stats JSON — the

@@ -218,6 +218,12 @@ type Fabric struct {
 	WH   *wormhole.Engine
 	PCS  *pcs.Engine
 
+	// RoutingTable records the routing-table selection outcome (flat,
+	// compressed, or algorithmic fallback with the Gated flag). Deliberately
+	// not part of Stats: a table-backed run and an algorithmic oracle run
+	// must stay stats-identical.
+	RoutingTable routing.TableInfo
+
 	hooks  Hooks
 	caches []*circuit.Cache
 	rng    *sim.RNG
@@ -278,14 +284,18 @@ func New(topo topology.Topology, prm Params, hooks Hooks) (*Fabric, error) {
 	if err != nil {
 		return nil, err
 	}
+	tableInfo := routing.TableInfo{Mode: routing.TableAlgorithmic}
 	if !prm.DisableRoutingTable {
-		// Freeze the routing function into a (here, dst) lookup table: the
-		// algorithmic implementation above remains the generator and oracle,
-		// the per-cycle hot path becomes a zero-allocation slice-view copy.
-		// The memoizing wrapper shares one arena across identically shaped
-		// fabrics, so sweep points and back-to-back server jobs stop paying
-		// the table build repeatedly.
-		fn = routing.WithTableCached(fn, topo, routing.DefaultTableMaxNodes)
+		// Freeze the routing function into a lookup table: the algorithmic
+		// implementation above remains the generator and oracle, the
+		// per-cycle hot path becomes a zero-allocation table load — the flat
+		// (here, dst) arena under the node gate, the compressed
+		// per-dimension table on mega k-ary n-cubes above it. The memoizing
+		// wrapper shares one table across identically shaped fabrics, so
+		// sweep points and back-to-back server jobs stop paying the build
+		// repeatedly. The returned TableInfo records which representation
+		// won (or that selection gated out), for the engine report line.
+		fn, tableInfo = routing.SelectTableCached(fn, topo, routing.DefaultTableMaxNodes)
 	}
 	// Event-queue sharding: the shard count never affects pop order (PopDue
 	// merges by (at, seq)), so auto mode fixes it at maxAutoWorkers — the
@@ -307,6 +317,7 @@ func New(topo topology.Topology, prm Params, hooks Hooks) (*Fabric, error) {
 		WaveLinkFlits:  make([]int64, topo.NumLinkSlots()),
 		fastForward:    !prm.DisableActivityTracking,
 		engineWorkers:  1,
+		RoutingTable:   tableInfo,
 	}
 	f.WH, err = wormhole.New(topo, fn, wormhole.Params{NumVCs: prm.NumVCs, BufDepth: prm.BufDepth, CreditDelay: prm.CreditDelay, RouteDelay: prm.RouteDelay, DisableActivityTracking: prm.DisableActivityTracking}, wormhole.Hooks{
 		Delivered: func(m flit.Message, now int64) {

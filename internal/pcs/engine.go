@@ -192,14 +192,18 @@ type probe struct {
 	waitingFor       Channel
 	waitingOwner     int64 // circuit ID expected to release waitingFor
 
-	// hist is this probe's slice of the distributed History Store: the mask
-	// of outputs already searched, by node (dense, indexed by node). Only the
-	// probe's own step touches it, which is what lets the parallel compute
-	// phase read it lock-free. histDirty lists the nodes with nonzero masks
-	// so cleanup resets only what was visited; a pooled probe keeps both
-	// backing arrays, so the store allocates once per probe object, ever.
-	hist      []uint32
-	histDirty []topology.Node
+	// histNodes/histMasks are this probe's slice of the distributed History
+	// Store: the mask of outputs already searched, sparse parallel arrays in
+	// first-touch order (histNodes[i] has mask histMasks[i]). A probe visits
+	// a handful of nodes, so lookups are a short linear scan — and unlike
+	// the previous dense []uint32 of Nodes() entries, a pooled probe costs
+	// O(nodes visited), not O(network size): at 128x128 the dense layout
+	// charged 64 KiB per pooled probe object. Only the probe's own step
+	// writes the store, which is what lets the parallel compute phase read
+	// it lock-free; the backing arrays stay with the pooled probe, so the
+	// store allocates only while the visit list grows.
+	histNodes []topology.Node
+	histMasks []uint32
 
 	// opts is the per-cycle output enumeration, reused across cycles.
 	opts []outOption
@@ -1138,30 +1142,31 @@ func (e *Engine) takeChannel(p *probe, o outOption) {
 }
 
 func (e *Engine) markHistory(p *probe, bit uint32) {
-	if len(p.hist) == 0 {
-		p.hist = make([]uint32, e.topo.Nodes()) // once per probe object, ever
+	for i, n := range p.histNodes {
+		if n == p.at {
+			p.histMasks[i] |= bit
+			return
+		}
 	}
-	if p.hist[p.at] == 0 {
-		p.histDirty = append(p.histDirty, p.at)
-	}
-	p.hist[p.at] |= bit
+	p.histNodes = append(p.histNodes, p.at)
+	p.histMasks = append(p.histMasks, bit)
 }
 
-// cleanupHistory clears the probe's History Store entries by walking the
-// dirty list — O(nodes visited), and the arrays stay with the pooled probe.
+// cleanupHistory clears the probe's History Store — O(1): truncating the
+// sparse arrays is the whole reset, and they stay with the pooled probe.
 func (e *Engine) cleanupHistory(p *probe) {
-	for _, n := range p.histDirty {
-		p.hist[n] = 0
-	}
-	p.histDirty = p.histDirty[:0]
+	p.histNodes = p.histNodes[:0]
+	p.histMasks = p.histMasks[:0]
 }
 
-// histAt reads the probe's History Store mask for node n.
+// histAt reads the probe's History Store mask for node n (0 if unvisited).
 func (p *probe) histAt(n topology.Node) uint32 {
-	if len(p.hist) == 0 {
-		return 0
+	for i, hn := range p.histNodes {
+		if hn == n {
+			return p.histMasks[i]
+		}
 	}
-	return p.hist[n]
+	return 0
 }
 
 // probeAdvance implements one MB-m step: take a free valid channel if any,

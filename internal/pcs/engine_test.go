@@ -242,7 +242,7 @@ func TestBacktrackRestoresChannels(t *testing.T) {
 		}
 	}
 	for _, p := range e.probes {
-		if len(p.histDirty) != 0 {
+		if len(p.histNodes) != 0 {
 			t.Fatal("history leaked")
 		}
 	}
@@ -555,8 +555,8 @@ func TestTheoremProbeStorm(t *testing.T) {
 		t.Fatalf("finished %d of %d probes", finished, launched)
 	}
 	for _, p := range e.probes {
-		if len(p.histDirty) != 0 {
-			t.Fatalf("history leaked %d entries for probe %d", len(p.histDirty), p.id)
+		if len(p.histNodes) != 0 {
+			t.Fatalf("history leaked %d entries for probe %d", len(p.histNodes), p.id)
 		}
 	}
 	// Every Reserved channel must have been released (only Established for

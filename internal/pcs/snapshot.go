@@ -58,11 +58,12 @@ func (e *Engine) encodeProbe(w *snapshot.Writer, p *probe) error {
 	encodeChannel(w, p.waitingFor)
 	w.I64(p.waitingOwner)
 	w.I64(p.launched)
-	// History store: only the dirty entries, in dirty-list order.
-	w.U32(uint32(len(p.histDirty)))
-	for _, n := range p.histDirty {
+	// History store: the sparse (node, mask) entries in first-touch order —
+	// byte-identical to the dirty-list encoding of the former dense layout.
+	w.U32(uint32(len(p.histNodes)))
+	for i, n := range p.histNodes {
 		w.Int(int(n))
-		w.U32(p.hist[n])
+		w.U32(p.histMasks[i])
 	}
 	return w.Err()
 }
@@ -94,20 +95,17 @@ func (e *Engine) decodeProbe(r *snapshot.Reader) (*probe, error) {
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
-	if nh > 0 && len(p.hist) == 0 {
-		p.hist = make([]uint32, e.topo.Nodes())
-	}
 	for i := 0; i < nh; i++ {
 		n := topology.Node(r.Int())
 		mask := r.U32()
 		if r.Err() != nil {
 			return nil, r.Err()
 		}
-		if int(n) >= len(p.hist) {
+		if n < 0 || int(n) >= e.topo.Nodes() {
 			return nil, fmt.Errorf("pcs: snapshot history node %d out of range", n)
 		}
-		p.hist[n] = mask
-		p.histDirty = append(p.histDirty, n)
+		p.histNodes = append(p.histNodes, n)
+		p.histMasks = append(p.histMasks, mask)
 	}
 	p.prep.kind = prepNone
 	p.prep.cycle = -1

@@ -11,32 +11,153 @@ import (
 // kind and dimensions, hence the same deterministic node and LinkID numbering
 // — and the same routing function produce byte-identical arenas. Parameter
 // sweeps and back-to-back server jobs build dozens of such fabrics, and
-// rebuilding the table (Nodes^2 oracle invocations) dominated fabric
-// construction time. The cache below memoizes BuildTable on that shape key; a
-// TableFunc is immutable after construction and already safe for concurrent
-// Candidates calls, so sharing one instance across fabrics is free.
+// rebuilding the table (Nodes^2 oracle invocations for flat tables) dominated
+// fabric construction time. The cache below memoizes table construction on
+// that shape key; both table kinds are immutable after construction and
+// already safe for concurrent Candidates calls, so sharing one instance
+// across fabrics is free.
+//
+// The cache is LRU-bounded on BOTH entry count and total table bytes: a flat
+// 1024-node table weighs tens of megabytes, so a sweep over many shapes must
+// recycle old arenas instead of holding every frozen table alive for the
+// process lifetime.
 
 // tableKey identifies a table up to arena equality. Topology.Name() encodes
 // the kind and every dimension ("8-ary 2-cube (torus)", "4x6 mesh",
 // "5-dimensional hypercube"); Nodes guards against any two shapes that could
-// ever share a name; the function name and VC count pin the generator.
+// ever share a name; the function name and VC count pin the generator; the
+// representation flag separates a flat table from a compressed one for the
+// same shape (callers with different maxNodes gates may want either).
 type tableKey struct {
-	topoName string
-	nodes    int
-	fnName   string
-	numVCs   int
+	topoName   string
+	nodes      int
+	fnName     string
+	numVCs     int
+	compressed bool
 }
 
-// tableCacheMax bounds the cache. A sweep touches a handful of shapes; the
-// bound only matters for pathological callers cycling through hundreds of
-// distinct topologies, where memoization is hopeless anyway — then the cache
-// resets rather than growing without limit.
-const tableCacheMax = 16
+// Cache bounds. A sweep touches a handful of shapes; the entry bound only
+// matters for pathological callers cycling through hundreds of distinct
+// topologies. The byte budget is what actually protects a sweep over several
+// at-gate shapes: four distinct 1024-node flat tables already exceed 128 MiB.
+const (
+	tableCacheMaxEntries = 16
+	tableCacheMaxBytes   = 256 << 20
+)
+
+// tableEntry is one memoized table with its selection metadata and cost.
+type tableEntry struct {
+	fn    Func
+	info  TableInfo
+	bytes int
+}
 
 var (
-	tableCacheMu sync.Mutex
-	tableCache   = make(map[tableKey]*TableFunc)
+	tableCacheMu    sync.Mutex
+	tableCache      = make(map[tableKey]*tableEntry)
+	tableCacheOrder []tableKey // least recently used first
+	tableCacheBytes int
 )
+
+// tableCacheTouch moves key to the most-recently-used position.
+func tableCacheTouch(key tableKey) {
+	for i, k := range tableCacheOrder {
+		if k == key {
+			copy(tableCacheOrder[i:], tableCacheOrder[i+1:])
+			tableCacheOrder[len(tableCacheOrder)-1] = key
+			return
+		}
+	}
+	tableCacheOrder = append(tableCacheOrder, key)
+}
+
+// tableCacheInsert stores a fresh entry and evicts from the LRU end until
+// both bounds hold again (never evicting the entry just inserted).
+func tableCacheInsert(key tableKey, e *tableEntry) {
+	tableCache[key] = e
+	tableCacheBytes += e.bytes
+	tableCacheTouch(key)
+	for len(tableCacheOrder) > 1 &&
+		(len(tableCache) > tableCacheMaxEntries || tableCacheBytes > tableCacheMaxBytes) {
+		victim := tableCacheOrder[0]
+		tableCacheOrder = tableCacheOrder[1:]
+		if old, ok := tableCache[victim]; ok {
+			tableCacheBytes -= old.bytes
+			delete(tableCache, victim)
+		}
+	}
+}
+
+// TableCacheStats reports the memoization cache's current entry count and
+// total table bytes, so sweeps and benchmarks can verify the bound holds.
+func TableCacheStats() (entries, bytes int) {
+	tableCacheMu.Lock()
+	defer tableCacheMu.Unlock()
+	return len(tableCache), tableCacheBytes
+}
+
+// SelectTableCached picks the routing-table representation for (fn, topo)
+// and memoizes the build:
+//
+//   - Nodes <= maxNodes: the flat (here, dst) arena — exact, two-load
+//     lookups, quadratic memory (fine under the gate).
+//   - Nodes > maxNodes on a k-ary n-cube: the compressed per-dimension
+//     table — identical candidate sequences, O(dims) loads, O(n*k^2 + N*n)
+//     memory.
+//   - Otherwise: fn unchanged, with Gated set in the returned TableInfo so
+//     callers can surface the fallback instead of silently running slow.
+//
+// Safe for concurrent callers.
+func SelectTableCached(fn Func, topo topology.Topology, maxNodes int) (Func, TableInfo) {
+	key := tableKey{
+		topoName: topo.Name(),
+		nodes:    topo.Nodes(),
+		fnName:   fn.Name(),
+		numVCs:   fn.NumVCs(),
+	}
+	key.compressed = topo.Nodes() > maxNodes
+
+	tableCacheMu.Lock()
+	if e, ok := tableCache[key]; ok {
+		tableCacheTouch(key)
+		tableCacheMu.Unlock()
+		return e.fn, e.info
+	}
+	tableCacheMu.Unlock()
+
+	// Build outside the lock: flat builds run Nodes^2 oracle calls and must
+	// not serialize unrelated shapes behind them. Concurrent same-shape
+	// callers may race to build; the second insert wins harmlessly (tables
+	// for one key are interchangeable).
+	var e *tableEntry
+	if !key.compressed {
+		t := BuildTable(fn, topo)
+		arena, index := t.MemoryFootprint()
+		e = &tableEntry{fn: t, info: TableInfo{Mode: TableFlat, Bytes: arena + index}, bytes: arena + index}
+	} else if t, ok := BuildCompressed(fn, topo); ok {
+		cells, coords := t.MemoryFootprint()
+		e = &tableEntry{fn: t, info: TableInfo{Mode: TableCompressed, Bytes: cells + coords}, bytes: cells + coords}
+	} else {
+		return fn, TableInfo{Mode: TableAlgorithmic, Gated: true}
+	}
+
+	tableCacheMu.Lock()
+	if prev, ok := tableCache[key]; ok {
+		tableCacheTouch(key)
+		tableCacheMu.Unlock()
+		return prev.fn, prev.info
+	}
+	tableCacheInsert(key, e)
+	tableCacheMu.Unlock()
+	return e.fn, e.info
+}
+
+// WithTableCached is the Func-only form of SelectTableCached, kept for
+// callers that do not need the selection metadata.
+func WithTableCached(fn Func, topo topology.Topology, maxNodes int) Func {
+	f, _ := SelectTableCached(fn, topo, maxNodes)
+	return f
+}
 
 // Channel dependency graphs are pure functions of the same shape key: BuildCDG
 // walks Nodes^2 injection pairs plus every reachable (channel, destination)
@@ -74,29 +195,4 @@ func BuildCDGCached(topo topology.Topology, fn Func) *CDG {
 	}
 	cdgCache[key] = g
 	return g
-}
-
-// WithTableCached is WithTable with memoization: identically shaped requests
-// share one frozen table arena. Safe for concurrent callers.
-func WithTableCached(fn Func, topo topology.Topology, maxNodes int) Func {
-	if topo.Nodes() > maxNodes {
-		return fn
-	}
-	key := tableKey{
-		topoName: topo.Name(),
-		nodes:    topo.Nodes(),
-		fnName:   fn.Name(),
-		numVCs:   fn.NumVCs(),
-	}
-	tableCacheMu.Lock()
-	defer tableCacheMu.Unlock()
-	if t, ok := tableCache[key]; ok {
-		return t
-	}
-	t := BuildTable(fn, topo)
-	if len(tableCache) >= tableCacheMax {
-		clear(tableCache)
-	}
-	tableCache[key] = t
-	return t
 }

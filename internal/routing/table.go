@@ -24,6 +24,47 @@ import (
 // path is used directly.
 const DefaultTableMaxNodes = 1024
 
+// TableMode names the representation actually serving Candidates after
+// table selection, so callers can distinguish "table built" from "gated,
+// fell back to algorithmic" instead of the silent fallback WithTable's
+// unchanged-Func return used to be.
+type TableMode uint8
+
+const (
+	// TableAlgorithmic: no precomputation; the algorithmic Func runs per
+	// lookup.
+	TableAlgorithmic TableMode = iota
+	// TableFlat: flat (here, dst) product arena (small topologies).
+	TableFlat
+	// TableCompressed: per-dimension offset tables (mega k-ary n-cubes).
+	TableCompressed
+)
+
+// String implements fmt.Stringer.
+func (m TableMode) String() string {
+	switch m {
+	case TableFlat:
+		return "flat"
+	case TableCompressed:
+		return "compressed"
+	default:
+		return "algorithmic"
+	}
+}
+
+// TableInfo describes the outcome of routing-table selection.
+type TableInfo struct {
+	// Mode is the representation serving lookups.
+	Mode TableMode
+	// Bytes is the precomputed footprint (arena+index for flat,
+	// cells+coords for compressed); 0 when algorithmic.
+	Bytes int
+	// Gated reports that a table was requested but no precomputed
+	// representation covers the configuration, so lookups fell back to the
+	// algorithmic path.
+	Gated bool
+}
+
 // TableFunc is a routing function accelerated by a precomputed (here, dst)
 // candidate table. It implements Func and is safe for concurrent Candidates
 // calls (lookups only read the frozen arena).

@@ -35,14 +35,23 @@ const Version = 1
 // match the payload read.
 var ErrDigest = errors.New("snapshot: digest mismatch (truncated or corrupted)")
 
+// chunkSize is the internal buffering granularity of Writer and Reader. A
+// snapshot payload is millions of tiny fixed-width fields; on a mega
+// topology, issuing each as its own underlying Write/Read (and its own
+// 1-8 byte sha256 update) dominated snapshot time. Fields accumulate into
+// chunkSize runs that hit the stream and the hash once.
+const chunkSize = 64 << 10
+
 // Writer serialises snapshot payload fields, hashing every byte written.
-// All methods are sticky-error: after a write fails, subsequent calls are
-// no-ops and Close reports the first error.
+// Fields are buffered internally (chunkSize runs); Close flushes before
+// stamping the digest. All methods are sticky-error: after a write fails,
+// subsequent calls are no-ops and Close reports the first error.
 type Writer struct {
-	w   io.Writer
-	h   hash.Hash
-	err error
-	buf [8]byte
+	w    io.Writer
+	h    hash.Hash
+	err  error
+	buf  [8]byte
+	pend []byte // buffered payload, not yet written or hashed
 }
 
 // NewWriter writes the magic/version header and returns a payload writer.
@@ -55,18 +64,40 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	if _, err := w.Write(v[:]); err != nil {
 		return nil, err
 	}
-	return &Writer{w: w, h: sha256.New()}, nil
+	return &Writer{w: w, h: sha256.New(), pend: make([]byte, 0, chunkSize)}, nil
+}
+
+// flush hashes and writes the pending chunk.
+func (w *Writer) flush() {
+	if w.err != nil || len(w.pend) == 0 {
+		return
+	}
+	w.h.Write(w.pend)
+	if _, err := w.w.Write(w.pend); err != nil {
+		w.err = err
+	}
+	w.pend = w.pend[:0]
 }
 
 func (w *Writer) write(p []byte) {
 	if w.err != nil {
 		return
 	}
-	if _, err := w.w.Write(p); err != nil {
-		w.err = err
-		return
+	if len(w.pend)+len(p) > chunkSize {
+		w.flush()
+		if w.err != nil {
+			return
+		}
+		if len(p) > chunkSize {
+			// Oversized field (a big Bytes blob): bypass the buffer.
+			w.h.Write(p)
+			if _, err := w.w.Write(p); err != nil {
+				w.err = err
+			}
+			return
+		}
 	}
-	w.h.Write(p)
+	w.pend = append(w.pend, p...)
 }
 
 // U8 writes one byte.
@@ -114,9 +145,10 @@ func (w *Writer) String(s string) { w.Bytes([]byte(s)) }
 // Err returns the first write error, if any.
 func (w *Writer) Err() error { return w.err }
 
-// Close stamps the SHA-256 digest of the payload after it. The digest
-// itself is not hashed.
+// Close flushes buffered payload and stamps the SHA-256 digest of the
+// payload after it. The digest itself is not hashed.
 func (w *Writer) Close() error {
+	w.flush()
 	if w.err != nil {
 		return w.err
 	}
@@ -125,12 +157,17 @@ func (w *Writer) Close() error {
 }
 
 // Reader reads snapshot payload fields, hashing every byte read so Close
-// can verify the trailing digest.
+// can verify the trailing digest. It buffers internally (chunkSize runs),
+// so it may read ahead of the last field consumed: hand it a dedicated
+// stream, not one with trailing data a co-reader still needs.
 type Reader struct {
-	r   io.Reader
-	h   hash.Hash
-	err error
-	buf [8]byte
+	r    io.Reader
+	h    hash.Hash
+	err  error
+	buf  [8]byte
+	rbuf []byte // buffered window: rbuf[pos:end] is unconsumed
+	pos  int
+	end  int
 }
 
 // NewReader checks the magic/version header and returns a payload reader.
@@ -145,18 +182,38 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if v := binary.LittleEndian.Uint32(head[len(Magic):]); v != Version {
 		return nil, fmt.Errorf("snapshot: unsupported version %d (want %d)", v, Version)
 	}
-	return &Reader{r: r, h: sha256.New()}, nil
+	return &Reader{r: r, h: sha256.New(), rbuf: make([]byte, chunkSize)}, nil
 }
 
-func (r *Reader) read(p []byte) {
+// readRaw fills p from the buffered stream without hashing (the digest
+// trailer is read through it too, and must not hash itself).
+func (r *Reader) readRaw(p []byte) {
 	if r.err != nil {
 		return
 	}
-	if _, err := io.ReadFull(r.r, p); err != nil {
-		r.err = fmt.Errorf("snapshot: short read: %w", err)
-		return
+	for len(p) > 0 {
+		if r.pos == r.end {
+			n, err := r.r.Read(r.rbuf)
+			if n == 0 {
+				if err == nil || err == io.EOF {
+					err = io.ErrUnexpectedEOF
+				}
+				r.err = fmt.Errorf("snapshot: short read: %w", err)
+				return
+			}
+			r.pos, r.end = 0, n
+		}
+		n := copy(p, r.rbuf[r.pos:r.end])
+		r.pos += n
+		p = p[n:]
 	}
-	r.h.Write(p)
+}
+
+func (r *Reader) read(p []byte) {
+	r.readRaw(p)
+	if r.err == nil {
+		r.h.Write(p)
+	}
 }
 
 // U8 reads one byte.
@@ -233,8 +290,9 @@ func (r *Reader) Close() error {
 		return r.err
 	}
 	want := make([]byte, sha256.Size)
-	if _, err := io.ReadFull(r.r, want); err != nil {
-		return fmt.Errorf("snapshot: digest: %w", err)
+	r.readRaw(want)
+	if r.err != nil {
+		return fmt.Errorf("snapshot: digest: %w", r.err)
 	}
 	got := r.h.Sum(nil)
 	for i := range want {

@@ -9,6 +9,7 @@ package traffic
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -67,24 +68,50 @@ type Near struct {
 	within [][]topology.Node // per source: nodes at distance 1..Radius
 }
 
-// NewNear precomputes the neighbourhoods.
+// NewNear precomputes the neighbourhoods by breadth-first search to depth
+// Radius from each source — O(Nodes * ball size), where the former
+// all-pairs Distance scan was O(Nodes^2) and alone dominated construction
+// on mega topologies (64x64+). Hop count equals Distance on k-ary n-cubes,
+// and each ball is sorted ascending to reproduce the exact dst order (and
+// hence Pick behaviour) of the old scan.
 func NewNear(topo topology.Topology, radius int) (*Near, error) {
 	if radius < 1 {
 		return nil, fmt.Errorf("traffic: near radius must be >= 1, got %d", radius)
 	}
 	n := &Near{Topo: topo, Radius: radius, within: make([][]topology.Node, topo.Nodes())}
+	dims := topo.Dims()
+	seen := make([]int32, topo.Nodes()) // generation marks, one pass per src
+	for i := range seen {
+		seen[i] = -1
+	}
+	var frontier, next []topology.Node
 	for src := topology.Node(0); int(src) < topo.Nodes(); src++ {
-		for dst := topology.Node(0); int(dst) < topo.Nodes(); dst++ {
-			if dst == src {
-				continue
+		gen := int32(src)
+		seen[src] = gen
+		frontier = append(frontier[:0], src)
+		var ball []topology.Node
+		for depth := 0; depth < radius && len(frontier) > 0; depth++ {
+			next = next[:0]
+			for _, at := range frontier {
+				for d := 0; d < dims; d++ {
+					for _, dir := range []topology.Dir{topology.Plus, topology.Minus} {
+						nb, ok := topo.Neighbor(at, d, dir)
+						if !ok || seen[nb] == gen {
+							continue
+						}
+						seen[nb] = gen
+						next = append(next, nb)
+						ball = append(ball, nb)
+					}
+				}
 			}
-			if topo.Distance(src, dst) <= radius {
-				n.within[src] = append(n.within[src], dst)
-			}
+			frontier, next = next, frontier
 		}
-		if len(n.within[src]) == 0 {
+		if len(ball) == 0 {
 			return nil, fmt.Errorf("traffic: node %d has no neighbours within radius %d", src, radius)
 		}
+		sort.Slice(ball, func(i, j int) bool { return ball[i] < ball[j] })
+		n.within[src] = ball
 	}
 	return n, nil
 }

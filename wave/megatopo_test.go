@@ -1,0 +1,150 @@
+package wave
+
+import (
+	"bytes"
+	"testing"
+)
+
+// megaTopoConfig is the 64x64 torus the mega-topology contract is pinned
+// at: 4096 nodes is four times the flat-table gate, so the run exercises
+// the compressed per-dimension routing table, the sharded event queue and
+// the wormhole slot arena at a size the flat arena cannot reach. Loads are
+// kept light — mega runs are about scale, not saturation.
+func megaTopoConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Topology = TopologyConfig{Kind: "torus", Radix: []int{64, 64}}
+	cfg.Protocol = "clrp"
+	cfg.Routing = "duato"
+	cfg.NumVCs = 3
+	cfg.Seed = 424242
+	return cfg
+}
+
+// TestMegaTopoCompressedTableSelected is the no-fallback acceptance gate:
+// a 64x64 torus must run table-backed via the compressed representation —
+// not gated out to the algorithmic path — and report its footprint.
+func TestMegaTopoCompressedTableSelected(t *testing.T) {
+	s, err := New(megaTopoConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rt := s.RoutingTableInfo()
+	if rt.Mode != "compressed" || rt.Gated {
+		t.Fatalf("64x64 torus selected routing table %+v, want compressed", rt)
+	}
+	if rt.Bytes <= 0 {
+		t.Fatalf("compressed table reports %d bytes", rt.Bytes)
+	}
+	// Bytes per node must be tiny — the flat layout costs >= 4*Nodes bytes
+	// per node in index alone (16 KiB/node at this size).
+	if perNode := rt.Bytes / s.Nodes(); perNode > 64 {
+		t.Errorf("compressed table costs %d bytes/node, want <= 64", perNode)
+	}
+
+	// DisableRoutingTable is the algorithmic oracle mode and must say so.
+	cfg := megaTopoConfig()
+	cfg.DisableRoutingTable = true
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if rt := o.RoutingTableInfo(); rt.Mode != "algorithmic" || rt.Gated {
+		t.Fatalf("DisableRoutingTable selected %+v, want algorithmic (not gated)", rt)
+	}
+}
+
+// TestMegaTopoWorkersAndOracleIdentity proves the two mega-topology
+// determinism contracts in one short run: serial (Workers=1), auto-tuned
+// (Workers=0) and the algorithmic-routing oracle (DisableRoutingTable) all
+// deliver bit-identical Stats at 64x64. Stats is comparable with ==,
+// including per-link flit checksums, so equality means every flit moved
+// identically.
+func TestMegaTopoWorkersAndOracleIdentity(t *testing.T) {
+	w := Workload{Pattern: "uniform", Load: 0.02, FixedLength: 16}
+	const warmup, measure = 100, 300
+	run := func(workers int, disableTable bool) Stats {
+		t.Helper()
+		cfg := megaTopoConfig()
+		cfg.Workers = workers
+		cfg.DisableRoutingTable = disableTable
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if _, err := s.RunLoad(w, warmup, measure); err != nil {
+			t.Fatal(err)
+		}
+		return s.Stats()
+	}
+	serial := run(1, false)
+	if auto := run(0, false); auto != serial {
+		t.Errorf("workers=0 diverged from workers=1 at 64x64:\n serial %+v\n   auto %+v", serial, auto)
+	}
+	if oracle := run(1, true); oracle != serial {
+		t.Errorf("compressed table diverged from algorithmic oracle at 64x64:\n table  %+v\n oracle %+v", serial, oracle)
+	}
+}
+
+// TestMegaTopoSnapshotResume extends the PR 8 checkpoint contract beyond
+// toy sizes: at 64x64 a run with a mid-measurement Snapshot and a fresh
+// process restoring it must both match the uninterrupted run bit for bit —
+// the wormhole slot arena, the sharded event queue and the sparse PCS
+// history all round-tripping at scale.
+func TestMegaTopoSnapshotResume(t *testing.T) {
+	w := Workload{Pattern: "uniform", Load: 0.02, FixedLength: 16}
+	const warmup, measure, checkpointAt = 100, 300, 250
+
+	sA, err := New(megaTopoConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sA.Close()
+	if _, err := sA.RunLoad(w, warmup, measure); err != nil {
+		t.Fatal(err)
+	}
+	statsA := sA.Stats()
+
+	sB, err := New(megaTopoConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sB.Close()
+	var buf bytes.Buffer
+	taken := false
+	sB.OnInterval(checkpointAt, func(now int64) {
+		if taken {
+			return
+		}
+		taken = true
+		if err := sB.Snapshot(&buf); err != nil {
+			t.Errorf("Snapshot: %v", err)
+		}
+	})
+	if _, err := sB.RunLoad(w, warmup, measure); err != nil {
+		t.Fatal(err)
+	}
+	if !taken {
+		t.Fatal("checkpoint hook never fired")
+	}
+	if statsB := sB.Stats(); statsB != statsA {
+		t.Errorf("checkpointed 64x64 run diverged from uninterrupted")
+	}
+
+	sC, err := Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	defer sC.Close()
+	if rt := sC.RoutingTableInfo(); rt.Mode != "compressed" {
+		t.Errorf("restored 64x64 simulator selected %q routing table, want compressed", rt.Mode)
+	}
+	if _, err := sC.ResumeLoad(); err != nil {
+		t.Fatalf("ResumeLoad: %v", err)
+	}
+	if statsC := sC.Stats(); statsC != statsA {
+		t.Errorf("restored 64x64 run diverged from uninterrupted")
+	}
+}

@@ -312,6 +312,27 @@ func (s *Simulator) EnginePorts() (active, total int) {
 // bit-identical across hosts and worker counts.
 func (s *Simulator) EngineWorkers() int { return s.mgr.Fab.EngineWorkers() }
 
+// RoutingTableInfo describes which routing-table representation serves the
+// run's Candidates lookups, so callers can tell "table built" from "gated,
+// fell back to algorithmic" instead of the old silent fallback.
+type RoutingTableInfo struct {
+	// Mode is "flat", "compressed", or "algorithmic".
+	Mode string
+	// Bytes is the precomputed table footprint; 0 when algorithmic.
+	Bytes int
+	// Gated reports that a table was requested (DisableRoutingTable unset)
+	// but no precomputed representation covers the configuration.
+	Gated bool
+}
+
+// RoutingTableInfo returns the routing-table selection outcome. Like
+// EngineWorkers, it is deliberately not part of Stats: a table-backed run
+// and a DisableRoutingTable oracle run must produce identical Stats.
+func (s *Simulator) RoutingTableInfo() RoutingTableInfo {
+	info := s.mgr.Fab.RoutingTable
+	return RoutingTableInfo{Mode: info.Mode.String(), Bytes: info.Bytes, Gated: info.Gated}
+}
+
 // Counters returns a snapshot of the protocol counters.
 func (s *Simulator) Counters() protocol.Counters { return s.mgr.Ctr }
 

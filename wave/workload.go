@@ -168,12 +168,29 @@ func (s *Simulator) RunLoadContext(ctx context.Context, w Workload, warmup, meas
 		return nil, err
 	}
 	end := s.now + warmup + measure
+	// Drain with a generous budget so tail latencies are complete. The
+	// budget must scale with the network as well as with the run length:
+	// on a mega topology (128x128 torus) the in-flight tail at injection
+	// stop trickles out over many multiples of the diameter as blocked
+	// wavefronts retry, so a short run on a huge fabric needs far more
+	// drain room than (warmup+measure) alone suggests.
+	drain := (warmup + measure) * 20
+	diameter := int64(0)
+	for d := 0; d < s.topo.Dims(); d++ {
+		if k := int64(s.topo.Radix(d)); s.topo.Wrap() {
+			diameter += k / 2
+		} else {
+			diameter += k - 1
+		}
+	}
+	if scaled := diameter * 256; scaled > drain {
+		drain = scaled
+	}
 	s.load = &loadRun{
 		w: w, gen: gen, run: stats.NewRun(s.now + warmup),
 		warmup: warmup, measure: measure,
-		end: end,
-		// Drain with a generous budget so tail latencies are complete.
-		drainDeadline: end + (warmup+measure)*20,
+		end:           end,
+		drainDeadline: end + drain,
 	}
 	return s.finishLoad(ctx)
 }
