@@ -15,6 +15,8 @@
 //	cdgcheck -topology torus -radix 8x8 -routing duato -vcs 3 -protocol clrp
 //	cdgcheck -topology hypercube -dims 6 -routing all -vcs 2
 //	cdgcheck -topology torus -radix 4x4 -routing dor-nodateline -vcs 1 -json
+//	cdgcheck -topology fattree -radix 4 -dims 2 -routing updown -vcs 1
+//	cdgcheck -topology fullmesh -radix 8 -routing vcfree -vcs 1
 package main
 
 import (
@@ -59,9 +61,9 @@ func errNotCertified(err error) bool {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cdgcheck", flag.ContinueOnError)
 	var (
-		topoKind = fs.String("topology", "torus", "mesh, torus or hypercube")
-		radix    = fs.String("radix", "8x8", "nodes per dimension for mesh/torus, e.g. 8x8")
-		dims     = fs.Int("dims", 6, "dimensions for -topology hypercube")
+		topoKind = fs.String("topology", "torus", "mesh, torus, hypercube, fattree or fullmesh")
+		radix    = fs.String("radix", "8x8", "nodes per dimension for mesh/torus (e.g. 8x8); arity k for fattree; node count for fullmesh")
+		dims     = fs.Int("dims", 6, "dimensions for -topology hypercube; levels n for fattree")
 		fnName   = fs.String("routing", "duato", "routing function ("+strings.Join(routing.Names(), ", ")+") or 'all'")
 		vcs      = fs.Int("vcs", 3, "virtual channels per physical channel")
 		proto    = fs.String("protocol", "clrp", "protocol: wormhole, clrp, carp or pcs")
@@ -132,6 +134,18 @@ func buildTopology(kind, radix string, dims int) (topology.Topology, error) {
 	switch kind {
 	case "hypercube":
 		return topology.NewHypercube(dims)
+	case "fattree":
+		k, err := strconv.Atoi(radix)
+		if err != nil {
+			return nil, fmt.Errorf("bad fat-tree arity %q: %v", radix, err)
+		}
+		return topology.NewFatTree(k, dims)
+	case "fullmesh":
+		n, err := strconv.Atoi(radix)
+		if err != nil {
+			return nil, fmt.Errorf("bad full-mesh node count %q: %v", radix, err)
+		}
+		return topology.NewFullMesh(n)
 	case "mesh", "torus":
 		parts := strings.Split(radix, "x")
 		r := make([]int, len(parts))
@@ -144,7 +158,7 @@ func buildTopology(kind, radix string, dims int) (topology.Topology, error) {
 		}
 		return topology.NewCube(r, kind == "torus")
 	default:
-		return nil, fmt.Errorf("unknown topology %q (mesh, torus or hypercube)", kind)
+		return nil, fmt.Errorf("unknown topology %q (mesh, torus, hypercube, fattree or fullmesh)", kind)
 	}
 }
 

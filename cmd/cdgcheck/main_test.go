@@ -111,14 +111,55 @@ func TestRoutingAll(t *testing.T) {
 		t.Fatalf("sweep missing mixed verdicts:\n%s", s)
 	}
 
-	// On a mesh with a sufficient VC budget, every registered function
-	// certifies (dor-nodateline degenerates to plain DOR without wraparound).
+	// On a mesh with a sufficient VC budget, every cube-applicable function
+	// certifies (dor-nodateline degenerates to plain DOR without wraparound);
+	// the fat-tree and full-mesh functions are skipped as family mismatches.
 	out.Reset()
 	if err := run([]string{"-topology", "mesh", "-radix", "4x4",
 		"-routing", "all", "-vcs", "2", "-protocol", "wormhole"}, &out); err != nil {
 		t.Fatalf("mesh sweep: %v\n%s", err, out.String())
 	}
-	if got := strings.Count(out.String(), "VERDICT: CERTIFIED"); got != len(routing.Names()) {
-		t.Fatalf("mesh sweep certified %d/%d functions:\n%s", got, len(routing.Names()), out.String())
+	s = out.String()
+	certified := strings.Count(s, "VERDICT: CERTIFIED")
+	skipped := strings.Count(s, ": skipped (")
+	if certified+skipped != len(routing.Names()) || skipped != 3 {
+		t.Fatalf("mesh sweep certified %d + skipped %d of %d functions:\n%s",
+			certified, skipped, len(routing.Names()), s)
+	}
+}
+
+// TestNewFamilies: the fat-tree up*/down* and full-mesh VC-free configs
+// certify with a single VC, and the unlabeled full-mesh variant is rejected
+// with a counterexample cycle unless recovery is enabled.
+func TestNewFamilies(t *testing.T) {
+	certified := [][]string{
+		{"-topology", "fattree", "-radix", "2", "-dims", "3", "-routing", "updown", "-vcs", "1"},
+		{"-topology", "fattree", "-radix", "4", "-dims", "2", "-routing", "updown", "-vcs", "2", "-protocol", "carp"},
+		{"-topology", "fullmesh", "-radix", "8", "-routing", "vcfree", "-vcs", "1"},
+		{"-topology", "fullmesh", "-radix", "6", "-routing", "vcfree", "-vcs", "2", "-protocol", "wormhole"},
+		{"-topology", "fullmesh", "-radix", "6", "-routing", "vcfree-nolabel", "-vcs", "1", "-recovery", "4096"},
+	}
+	for _, args := range certified {
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v\n%s", args, err, out.String())
+		}
+		if !strings.Contains(out.String(), "VERDICT: CERTIFIED") {
+			t.Fatalf("%v: no certified verdict:\n%s", args, out.String())
+		}
+	}
+
+	var out bytes.Buffer
+	err := run([]string{"-topology", "fullmesh", "-radix", "6",
+		"-routing", "vcfree-nolabel", "-vcs", "1", "-protocol", "wormhole"}, &out)
+	if err == nil {
+		t.Fatal("unlabeled full-mesh routing certified without recovery")
+	}
+	if !errNotCertified(err) {
+		t.Fatalf("proof failure classified as usage error: %v", err)
+	}
+	if !strings.Contains(out.String(), "VERDICT: NOT CERTIFIED") ||
+		!strings.Contains(out.String(), "link") {
+		t.Fatalf("missing counterexample cycle:\n%s", out.String())
 	}
 }

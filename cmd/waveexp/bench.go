@@ -142,11 +142,12 @@ type benchReport struct {
 	StatsIdentical bool    `json:"stats_identical"`
 	Note           string  `json:"note,omitempty"`
 
-	Lowload   *lowloadReport   `json:"lowload,omitempty"`
-	Faulted   *faultedReport   `json:"faulted,omitempty"`
-	Multicore *multicoreReport `json:"multicore,omitempty"`
-	Cache     *cacheReport     `json:"cache,omitempty"`
-	Megatopo  *megatopoReport  `json:"megatopo,omitempty"`
+	Lowload    *lowloadReport    `json:"lowload,omitempty"`
+	Faulted    *faultedReport    `json:"faulted,omitempty"`
+	Multicore  *multicoreReport  `json:"multicore,omitempty"`
+	Cache      *cacheReport      `json:"cache,omitempty"`
+	Megatopo   *megatopoReport   `json:"megatopo,omitempty"`
+	Topologies *topologiesReport `json:"topologies,omitempty"`
 }
 
 // benchConfig is the E7-style 16x16 stress configuration: near-saturation
@@ -362,6 +363,14 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 		return err
 	}
 
+	// Topology families: fat-tree (up*/down*) and full-mesh (VC-free) under
+	// CLRP and CARP, hard-gated on serial/parallel identity and on the
+	// inLink-dependent table gate.
+	topoRep, err := runBenchTopologies(seed, workers)
+	if err != nil {
+		return err
+	}
+
 	rep := benchReport{
 		Benchmark:      "e7-stress-16x16",
 		Generated:      time.Now().UTC().Format(time.RFC3339),
@@ -383,6 +392,7 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 		Multicore:      mc,
 		Cache:          cacheRep,
 		Megatopo:       megaRep,
+		Topologies:     topoRep,
 	}
 	if runtime.NumCPU() == 1 {
 		rep.Note = "single-CPU host: workers cannot overlap, so parallel speedup hovers near 1.0; stats_identical still certifies the determinism contract"
@@ -441,5 +451,6 @@ func runBenchJSON(out io.Writer, path string, workers int, seed uint64, warmup, 
 		mc.GoMaxProcs, mc.BestSpeedupOverSerial, mc.AutoWorkersSelected, mc.AllocParity, mc.StatsIdentical)
 	printBenchCache(out, cacheRep)
 	printBenchMegatopo(out, megaRep)
+	printBenchTopologies(out, topoRep)
 	return nil
 }

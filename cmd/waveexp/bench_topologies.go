@@ -1,0 +1,149 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/wave"
+)
+
+// topologyPoint is one (family, protocol) combination of the topology-family
+// section: a fat tree under up*/down* routing or a full mesh under VC-free
+// routing, run serial and parallel.
+type topologyPoint struct {
+	Topology string `json:"topology"`
+	Routing  string `json:"routing"`
+	Protocol string `json:"protocol"`
+	Nodes    int    `json:"nodes"`
+	Hosts    int    `json:"hosts"`
+
+	// TableMode records the routing-table selection: flat for up*/down*,
+	// algorithmic/gated for the inLink-dependent VC-free function.
+	TableMode  string `json:"table_mode"`
+	TableGated bool   `json:"table_gated"`
+
+	Runs []benchRun `json:"runs"`
+	// StatsIdentical is the serial vs parallel hard gate for this point.
+	StatsIdentical bool `json:"stats_identical"`
+}
+
+// topologiesReport is the -bench-json `topologies` section: the non-cube
+// families (fat tree, full mesh) under CLRP and CARP, each hard-gated on
+// serial/parallel Stats identity and on actually delivering traffic.
+type topologiesReport struct {
+	Warmup  int64           `json:"warmup_cycles"`
+	Measure int64           `json:"measure_cycles"`
+	Points  []topologyPoint `json:"points"`
+	// AllIdentical aggregates the per-point gates.
+	AllIdentical bool `json:"all_identical"`
+}
+
+// runBenchTopologies measures the topology-family section and enforces its
+// hard gates. The fabrics are small — the section certifies family coverage
+// and determinism, not scale (megatopo owns scale).
+func runBenchTopologies(seed uint64, workers int) (*topologiesReport, error) {
+	const warmup, measure = int64(500), int64(2000)
+	type shape struct {
+		name    string
+		topo    wave.TopologyConfig
+		routing string
+		vcs     int
+	}
+	shapes := []shape{
+		{"fattree 4-ary 2-tree", wave.TopologyConfig{Kind: "fattree", Radix: []int{4}, Dims: 2}, "updown", 2},
+		{"fullmesh 16", wave.TopologyConfig{Kind: "fullmesh", Radix: []int{16}}, "vcfree", 1},
+	}
+
+	rep := &topologiesReport{Warmup: warmup, Measure: measure, AllIdentical: true}
+	for _, sh := range shapes {
+		for _, proto := range []string{"clrp", "carp"} {
+			cfg := wave.DefaultConfig()
+			cfg.Topology = sh.topo
+			cfg.Routing = sh.routing
+			cfg.NumVCs = sh.vcs
+			cfg.Protocol = proto
+			cfg.Seed = seed
+			w := wave.Workload{Pattern: "uniform", Load: 0.1, FixedLength: 48, WantCircuit: proto == "carp"}
+
+			pt := topologyPoint{
+				Topology: sh.name,
+				Routing:  sh.routing,
+				Protocol: proto,
+			}
+			var firstStats wave.Stats
+			for i, wk := range []int{1, workers} {
+				name := fmt.Sprintf("%s-%s-workers%d", sh.topo.Kind, proto, wk)
+				c := cfg
+				c.Workers = wk
+				s, err := wave.New(c)
+				if err != nil {
+					return nil, fmt.Errorf("bench topologies: %s: %w", name, err)
+				}
+				if i == 0 {
+					pt.Nodes = s.Nodes()
+					pt.Hosts = s.Hosts()
+					rt := s.RoutingTableInfo()
+					pt.TableMode = rt.Mode
+					pt.TableGated = rt.Gated
+				}
+				start := time.Now()
+				res, err := s.RunLoad(w, warmup, measure)
+				if err != nil {
+					s.Close()
+					return nil, fmt.Errorf("bench topologies: %s: %w", name, err)
+				}
+				wall := time.Since(start).Seconds()
+				st := s.Stats()
+				pt.Runs = append(pt.Runs, benchRun{
+					Name:            name,
+					Workers:         wk,
+					WallSeconds:     wall,
+					Cycles:          st.Cycle,
+					CyclesPerSecond: float64(st.Cycle) / wall,
+					Delivered:       res.Delivered,
+					Throughput:      res.Throughput,
+					AvgLatency:      res.AvgLatency,
+					P99Latency:      res.P99Latency,
+					WorkersSelected: s.EngineWorkers(),
+				})
+				s.Close()
+				if i == 0 {
+					firstStats = st
+					pt.StatsIdentical = true
+					if res.Delivered == 0 {
+						return nil, fmt.Errorf("bench topologies: %s delivered nothing", name)
+					}
+				} else if st != firstStats {
+					pt.StatsIdentical = false
+					rep.AllIdentical = false
+				}
+			}
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+
+	// Hard gates: every point worker-invariant, and the VC-free points must
+	// have been kept off the frozen-table fast path.
+	if !rep.AllIdentical {
+		return nil, fmt.Errorf("bench topologies: serial and parallel Stats diverged on a non-cube family — determinism bug")
+	}
+	for _, pt := range rep.Points {
+		if pt.Routing == "vcfree" && !pt.TableGated {
+			return nil, fmt.Errorf("bench topologies: vcfree ran through a frozen routing table — inLink gate bug")
+		}
+	}
+	return rep, nil
+}
+
+// printBenchTopologies writes the human-readable summary line.
+func printBenchTopologies(out io.Writer, rep *topologiesReport) {
+	if rep == nil {
+		return
+	}
+	fmt.Fprintf(out, "bench topologies:")
+	for _, pt := range rep.Points {
+		fmt.Fprintf(out, " %s/%s %.0f cycles/s;", pt.Topology, pt.Protocol, pt.Runs[0].CyclesPerSecond)
+	}
+	fmt.Fprintf(out, " stats identical: %v\n", rep.AllIdentical)
+}

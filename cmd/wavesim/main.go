@@ -8,6 +8,8 @@
 //	wavesim -protocol wormhole -pattern transpose -len 128
 //	wavesim -protocol carp -trace program.carp
 //	wavesim -topology mesh -radix 16x16 -protocol pcs -len 256 -csv
+//	wavesim -topology fattree -radix 4 -levels 2 -routing updown -vcs 1
+//	wavesim -topology fullmesh -radix 16 -routing vcfree -vcs 1
 package main
 
 import (
@@ -39,11 +41,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("wavesim", flag.ContinueOnError)
 	var (
-		topoKind  = fs.String("topology", "torus", "topology kind: mesh, torus, hypercube")
-		radix     = fs.String("radix", "8x8", "nodes per dimension, e.g. 8x8 or 4x4x4")
+		topoKind  = fs.String("topology", "torus", "topology kind: mesh, torus, hypercube, fattree, fullmesh")
+		radix     = fs.String("radix", "8x8", "nodes per dimension for mesh/torus (e.g. 8x8); arity k for fattree; node count for fullmesh")
 		hyperDims = fs.Int("hyperdims", 4, "hypercube dimensions (topology=hypercube)")
+		levels    = fs.Int("levels", 2, "fat-tree levels n (topology=fattree)")
 		proto     = fs.String("protocol", "clrp", "protocol: wormhole, clrp, carp, pcs")
-		routing   = fs.String("routing", "duato", "wormhole routing: dor, duato, westfirst, negativefirst (mesh), dor-nodateline (needs -recovery)")
+		routing   = fs.String("routing", "duato", "wormhole routing: dor, duato, westfirst, negativefirst (mesh), updown (fattree), vcfree (fullmesh), dor-nodateline/vcfree-nolabel (need -recovery)")
 		vcs       = fs.Int("vcs", 3, "wormhole virtual channels per physical channel (w)")
 		bufDepth  = fs.Int("bufdepth", 4, "per-VC buffer depth in flits")
 		switches  = fs.Int("switches", 2, "wave-pipelined switches per router (k)")
@@ -157,6 +160,18 @@ func run(args []string, out io.Writer) error {
 	switch *topoKind {
 	case "hypercube":
 		cfg.Topology = wave.TopologyConfig{Kind: "hypercube", Dims: *hyperDims}
+	case "fattree":
+		k, err := strconv.Atoi(*radix)
+		if err != nil {
+			return fmt.Errorf("bad fat-tree arity %q: %v", *radix, err)
+		}
+		cfg.Topology = wave.TopologyConfig{Kind: "fattree", Radix: []int{k}, Dims: *levels}
+	case "fullmesh":
+		n, err := strconv.Atoi(*radix)
+		if err != nil {
+			return fmt.Errorf("bad full-mesh node count %q: %v", *radix, err)
+		}
+		cfg.Topology = wave.TopologyConfig{Kind: "fullmesh", Radix: []int{n}}
 	default:
 		r, err := parseRadix(*radix)
 		if err != nil {

@@ -49,10 +49,10 @@ type Params struct {
 	RouteDelay int
 	// RecoveryTimeout, when positive, enables abort-and-retry deadlock
 	// recovery in the wormhole network (see wormhole.RecoveryParams). It is
-	// required when Routing is "dor-nodateline", whose dependency graph is
-	// cyclic by design.
+	// required when Routing is "dor-nodateline" or "vcfree-nolabel", whose
+	// dependency graphs are cyclic by design.
 	RecoveryTimeout int64
-	// Routing selects the wormhole routing function: "dor" or "duato".
+	// Routing selects the wormhole routing function (see routing.Names).
 	Routing string
 	// NumSwitches is k, the wave-pipelined switches per router.
 	NumSwitches int
@@ -334,7 +334,7 @@ func New(topo topology.Topology, prm Params, hooks Hooks) (*Fabric, error) {
 		if err := f.WH.EnableRecovery(wormhole.RecoveryParams{Timeout: prm.RecoveryTimeout}); err != nil {
 			return nil, err
 		}
-	} else if prm.Routing == "dor-nodateline" {
+	} else if prm.Routing == "dor-nodateline" || prm.Routing == "vcfree-nolabel" {
 		return nil, fmt.Errorf("core: routing %q can deadlock; set RecoveryTimeout to enable abort-and-retry", prm.Routing)
 	}
 	f.PCS, err = pcs.New(topo, pcs.Params{NumSwitches: prm.NumSwitches, MaxMisroutes: prm.MaxMisroutes}, (*fabricHost)(f))

@@ -21,13 +21,13 @@ type Plan struct {
 	Channels []pcs.Channel
 }
 
-// existingLinks lists the topology's populated link IDs in ascending order.
+// existingLinks lists the topology's populated link IDs in ascending order,
+// via topology.AllLinks so phantom slots (mesh boundaries) are never drawn.
 func existingLinks(topo topology.Topology) []topology.LinkID {
-	links := make([]topology.LinkID, 0, topo.NumLinkSlots())
-	for id := 0; id < topo.NumLinkSlots(); id++ {
-		if _, ok := topo.LinkByID(topology.LinkID(id)); ok {
-			links = append(links, topology.LinkID(id))
-		}
+	all := topology.AllLinks(topo)
+	links := make([]topology.LinkID, len(all))
+	for i, l := range all {
+		links[i] = l.ID
 	}
 	return links
 }
@@ -79,15 +79,13 @@ func (p Plan) Apply(e *pcs.Engine) {
 // wormhole-fallback guarantee).
 func NodeIsolating(topo topology.Topology, numSwitches int, n topology.Node) Plan {
 	var plan Plan
-	for dim := 0; dim < topo.Dims(); dim++ {
-		for _, dir := range []topology.Dir{topology.Plus, topology.Minus} {
-			link, ok := topo.OutLink(n, dim, dir)
-			if !ok {
-				continue
-			}
-			for sw := 0; sw < numSwitches; sw++ {
-				plan.Channels = append(plan.Channels, pcs.Channel{Link: link, Switch: sw})
-			}
+	for port := 0; port < topo.OutDegree(n); port++ {
+		link, ok := topo.OutSlot(n, port)
+		if !ok {
+			continue
+		}
+		for sw := 0; sw < numSwitches; sw++ {
+			plan.Channels = append(plan.Channels, pcs.Channel{Link: link, Switch: sw})
 		}
 	}
 	return plan

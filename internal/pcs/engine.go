@@ -245,6 +245,11 @@ type release struct {
 // Engine is the PCS routing control unit for the whole network.
 type Engine struct {
 	topo topology.Topology
+	// geom is topo's cube geometry, nil on non-cube families. The outputs
+	// enumeration keeps a dedicated offset-arithmetic path for cubes (bit-
+	// identical to the pre-generalization engine) and falls back to a
+	// Distance-based port scan otherwise.
+	geom topology.Geometry
 	prm  Params
 	host Host
 
@@ -326,9 +331,17 @@ func New(topo topology.Topology, prm Params, host Host) (*Engine, error) {
 	if host == nil {
 		return nil, fmt.Errorf("pcs: nil host")
 	}
+	if topo.MaxOutDegree() > 32 {
+		// The History Store packs searched-output masks into uint32 words,
+		// one bit per port (Figure 3). A 33-port router would overflow the
+		// word; full meshes are therefore capped at 33 nodes.
+		return nil, fmt.Errorf("pcs: %s has out-degree %d, exceeding the 32-port History Store word", topo.Name(), topo.MaxOutDegree())
+	}
+	geom, _ := topo.(topology.Geometry)
 	n := topo.NumLinkSlots() * prm.NumSwitches
 	e := &Engine{
 		topo:       topo,
+		geom:       geom,
 		prm:        prm,
 		host:       host,
 		status:     make([]Status, n),
@@ -380,8 +393,9 @@ func (e *Engine) ReverseMapping(out Channel) (Channel, bool) {
 }
 
 // History exposes the Figure 3 History Store: the mask of outputs already
-// searched by probe p at node n (bit dim*2+dir). The store is distributed
-// across the in-flight probes; a finished probe's entries are gone.
+// searched by probe p at node n (bit = output port index, which on cubes is
+// dim*2+dir). The store is distributed across the in-flight probes; a
+// finished probe's entries are gone.
 func (e *Engine) History(n topology.Node, p flit.ProbeID) uint32 {
 	for _, pr := range e.probes {
 		if pr.id == p {
@@ -402,8 +416,11 @@ func (e *Engine) WireFields(id flit.ProbeID) (flit.ProbeFields, bool) {
 		if p.id != id {
 			continue
 		}
-		offs := make([]int, e.topo.Dims())
-		e.topo.Offsets(p.at, p.dst, offs)
+		var offs []int
+		if e.geom != nil {
+			offs = make([]int, e.geom.Dims())
+			e.geom.Offsets(p.at, p.dst, offs)
+		}
 		return flit.ProbeFields{
 			Header:   true,
 			Force:    p.force,
@@ -1054,15 +1071,10 @@ type outScratch struct {
 
 // outputs is pure with respect to shared mutable state: it reads only the
 // topology and the probe's own fields, which is what allows the parallel
-// compute phase to run it concurrently for every probe.
+// compute phase to run it concurrently for every probe. Cube geometries keep
+// the original offset-arithmetic enumeration (bit-identical to the
+// pre-generalization engine); other families rank ports by Distance.
 func (e *Engine) outputs(p *probe, opts []outOption, sc *outScratch) []outOption {
-	dims := e.topo.Dims()
-	if cap(sc.offs) < dims {
-		sc.offs = make([]int, dims)
-	}
-	offs := sc.offs[:dims]
-	e.topo.Offsets(p.at, p.dst, offs)
-
 	// The channel the probe arrived through (to exclude immediate U-turns:
 	// going back is what Backtrack is for).
 	var backCh Channel
@@ -1070,7 +1082,7 @@ func (e *Engine) outputs(p *probe, opts []outOption, sc *outScratch) []outOption
 	if len(p.path) > 0 {
 		last := p.path[len(p.path)-1].ch
 		if l, ok := e.topo.LinkByID(last.Link); ok {
-			if rev, ok2 := e.topo.OutLink(l.To, l.Dim, l.Dir.Opposite()); ok2 {
+			if rev, ok2 := topology.ReverseLink(e.topo, l); ok2 {
 				backCh = Channel{Link: rev, Switch: p.sw}
 				haveBack = true
 			}
@@ -1080,34 +1092,69 @@ func (e *Engine) outputs(p *probe, opts []outOption, sc *outScratch) []outOption
 	base := len(opts)
 	mags := sc.mags[:0]
 	mis := sc.mis[:0]
-	for dim := 0; dim < dims; dim++ {
-		for dir := topology.Plus; dir <= topology.Minus; dir++ {
-			link, ok := e.topo.OutLink(p.at, dim, dir)
-			if !ok {
-				continue
-			}
-			ch := Channel{Link: link, Switch: p.sw}
-			if haveBack && ch == backCh {
-				continue
-			}
-			bit := uint32(1) << uint(dim*2+int(dir))
-			profitable := (offs[dim] > 0 && dir == topology.Plus) || (offs[dim] < 0 && dir == topology.Minus)
-			o := outOption{ch: ch, bit: bit, profitable: profitable}
-			if profitable {
-				// Insert keeping largest remaining offset first, stable.
-				mag := offs[dim]
-				if mag < 0 {
-					mag = -mag
+	if e.geom != nil {
+		dims := e.geom.Dims()
+		if cap(sc.offs) < dims {
+			sc.offs = make([]int, dims)
+		}
+		offs := sc.offs[:dims]
+		e.geom.Offsets(p.at, p.dst, offs)
+		for dim := 0; dim < dims; dim++ {
+			for dir := topology.Plus; dir <= topology.Minus; dir++ {
+				link, ok := e.geom.OutLink(p.at, dim, dir)
+				if !ok {
+					continue
 				}
-				opts = append(opts, o)
-				mags = append(mags, mag)
-				for j := len(mags) - 1; j > 0 && mags[j] > mags[j-1]; j-- {
-					mags[j], mags[j-1] = mags[j-1], mags[j]
-					opts[base+j], opts[base+j-1] = opts[base+j-1], opts[base+j]
+				ch := Channel{Link: link, Switch: p.sw}
+				if haveBack && ch == backCh {
+					continue
 				}
-			} else {
-				mis = append(mis, o)
+				bit := uint32(1) << uint(dim*2+int(dir))
+				profitable := (offs[dim] > 0 && dir == topology.Plus) || (offs[dim] < 0 && dir == topology.Minus)
+				o := outOption{ch: ch, bit: bit, profitable: profitable}
+				if profitable {
+					// Insert keeping largest remaining offset first, stable.
+					mag := offs[dim]
+					if mag < 0 {
+						mag = -mag
+					}
+					opts = append(opts, o)
+					mags = append(mags, mag)
+					for j := len(mags) - 1; j > 0 && mags[j] > mags[j-1]; j-- {
+						mags[j], mags[j-1] = mags[j-1], mags[j]
+						opts[base+j], opts[base+j-1] = opts[base+j-1], opts[base+j]
+					}
+				} else {
+					mis = append(mis, o)
+				}
 			}
+		}
+		sc.mags, sc.mis = mags, mis
+		return append(opts, mis...)
+	}
+
+	// Generic family: a port is profitable when it strictly reduces the
+	// distance to the destination. Profitable ports are kept in port order
+	// (every profitable hop on the shipped families reduces distance by
+	// exactly 1, so there is no magnitude to rank by); misroutes follow.
+	atDist := e.topo.Distance(p.at, p.dst)
+	for port := 0; port < e.topo.OutDegree(p.at); port++ {
+		link, ok := e.topo.OutSlot(p.at, port)
+		if !ok {
+			continue
+		}
+		ch := Channel{Link: link, Switch: p.sw}
+		if haveBack && ch == backCh {
+			continue
+		}
+		l, _ := e.topo.LinkByID(link)
+		bit := uint32(1) << uint(port)
+		profitable := e.topo.Distance(l.To, p.dst) < atDist
+		o := outOption{ch: ch, bit: bit, profitable: profitable}
+		if profitable {
+			opts = append(opts, o)
+		} else {
+			mis = append(mis, o)
 		}
 	}
 	sc.mags, sc.mis = mags, mis

@@ -147,7 +147,7 @@ func TestFig3StatusRegisters(t *testing.T) {
 	}
 }
 
-func mustLink(t *testing.T, topo topology.Topology, n topology.Node, dim int, dir topology.Dir) topology.LinkID {
+func mustLink(t *testing.T, topo topology.Geometry, n topology.Node, dim int, dir topology.Dir) topology.LinkID {
 	t.Helper()
 	l, ok := topo.OutLink(n, dim, dir)
 	if !ok {

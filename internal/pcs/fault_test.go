@@ -9,7 +9,7 @@ import (
 
 // outChannel is a test helper: node n's outgoing wave channel along (dim,
 // dir) on switch sw.
-func outChannel(t *testing.T, topo topology.Topology, n topology.Node, dim int, dir topology.Dir, sw int) Channel {
+func outChannel(t *testing.T, topo topology.Geometry, n topology.Node, dim int, dir topology.Dir, sw int) Channel {
 	t.Helper()
 	link, ok := topo.OutLink(n, dim, dir)
 	if !ok {

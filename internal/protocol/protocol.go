@@ -266,14 +266,19 @@ func (m *Manager) dest(n, dst topology.Node) *destState {
 
 // initialSwitch implements the paper's neighbour-spreading heuristic: "in a
 // 2D-mesh, node (x,y) can first try switch 1+(x+y) mod k" (0-based here).
+// Families without cube coordinates spread by node number instead.
 func (m *Manager) initialSwitch(n topology.Node) int {
 	k := m.Fab.Prm.NumSwitches
 	if m.Opt.NoSwitchSpread {
 		return 0
 	}
+	g, ok := m.Fab.Topo.(topology.Geometry)
+	if !ok {
+		return int(n) % k
+	}
 	sum := 0
-	for d := 0; d < m.Fab.Topo.Dims(); d++ {
-		sum += m.Fab.Topo.CoordAlong(n, d)
+	for d := 0; d < g.Dims(); d++ {
+		sum += g.CoordAlong(n, d)
 	}
 	return sum % k
 }

@@ -109,6 +109,11 @@ func TableCacheStats() (entries, bytes int) {
 //
 // Safe for concurrent callers.
 func SelectTableCached(fn Func, topo topology.Topology, maxNodes int) (Func, TableInfo) {
+	if inLinkDependent(fn) {
+		// Freezing an input-link-dependent function would erase its transit
+		// restrictions; it stays algorithmic (see the InLinkDependent doc).
+		return fn, TableInfo{Mode: TableAlgorithmic, Gated: true}
+	}
 	key := tableKey{
 		topoName: topo.Name(),
 		nodes:    topo.Nodes(),

@@ -93,8 +93,11 @@ func BuildCDG(topo topology.Topology, fn Func) *CDG {
 	var cands []Candidate
 
 	// Seed: every injected (src, dst) pair reaches its first-hop channels.
-	for src := topology.Node(0); int(src) < topo.Nodes(); src++ {
-		for dst := topology.Node(0); int(dst) < topo.Nodes(); dst++ {
+	// Messages originate and terminate at hosts (on cubes every node is a
+	// host; on fat trees the switches never inject), so seeding ranges over
+	// host pairs.
+	for src := topology.Node(0); int(src) < topo.Hosts(); src++ {
+		for dst := topology.Node(0); int(dst) < topo.Hosts(); dst++ {
 			if src == dst {
 				continue
 			}
@@ -276,13 +279,15 @@ func Verify(topo topology.Topology, fn Func) error {
 	return nil
 }
 
-// Reachability checks that the escape subfunction can route from every node
-// to every destination (connectedness, the other half of Duato's condition).
+// Reachability checks that the escape subfunction can route from every host
+// to every destination host (connectedness, the other half of Duato's
+// condition). Switch-to-switch pairs are excluded: on a fat tree two root
+// switches have no up*/down* path, and no message ever needs one.
 func Reachability(topo topology.Topology, fn Func) error {
 	esc := fn.Escape()
 	var cands []Candidate
-	for src := topology.Node(0); int(src) < topo.Nodes(); src++ {
-		for dst := topology.Node(0); int(dst) < topo.Nodes(); dst++ {
+	for src := topology.Node(0); int(src) < topo.Hosts(); src++ {
+		for dst := topology.Node(0); int(dst) < topo.Hosts(); dst++ {
 			if src == dst {
 				continue
 			}

@@ -70,10 +70,11 @@ type CompressedFunc struct {
 // registered functions. Callers fall back to the flat table or the
 // algorithmic path.
 func BuildCompressed(fn Func, topo topology.Topology) (*CompressedFunc, bool) {
-	if _, isCube := topo.(*topology.Cube); !isCube {
+	cube, isCube := topo.(*topology.Cube)
+	if !isCube {
 		return nil, false
 	}
-	dims := topo.Dims()
+	dims := cube.Dims()
 	if dims > maxStackDims {
 		return nil, false
 	}
@@ -81,8 +82,8 @@ func BuildCompressed(fn Func, topo topology.Topology) (*CompressedFunc, bool) {
 		orig:   fn,
 		numVCs: fn.NumVCs(),
 		dims:   dims,
-		wrap:   topo.Wrap(),
-		nodes:  topo.Nodes(),
+		wrap:   cube.Wrap(),
+		nodes:  cube.Nodes(),
 	}
 	switch fn.Name() {
 	case "dor":
@@ -107,7 +108,7 @@ func BuildCompressed(fn Func, topo topology.Topology) (*CompressedFunc, bool) {
 	t.cellOff = make([]int32, dims)
 	cellTotal := 0
 	for d := 0; d < dims; d++ {
-		k := topo.Radix(d)
+		k := cube.Radix(d)
 		if k > 1<<16-1 {
 			return nil, false
 		}
@@ -163,7 +164,7 @@ func BuildCompressed(fn Func, topo topology.Topology) (*CompressedFunc, bool) {
 	t.coords = make([]uint16, t.nodes*dims)
 	for n := 0; n < t.nodes; n++ {
 		for d := 0; d < dims; d++ {
-			t.coords[n*dims+d] = uint16(topo.CoordAlong(topology.Node(n), d))
+			t.coords[n*dims+d] = uint16(cube.CoordAlong(topology.Node(n), d))
 		}
 	}
 

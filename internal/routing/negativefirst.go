@@ -14,7 +14,7 @@ import (
 // any number of virtual channels, like WestFirst but adaptive in both
 // phases and not limited to two dimensions.
 type NegativeFirst struct {
-	topo   topology.Topology
+	topo   topology.Geometry
 	numVCs int
 }
 
@@ -23,10 +23,14 @@ func NewNegativeFirst(topo topology.Topology, numVCs int) (*NegativeFirst, error
 	if numVCs < 1 {
 		return nil, fmt.Errorf("routing: negative-first needs at least 1 VC, got %d", numVCs)
 	}
-	if topo.Wrap() {
+	g, err := geometryOf(topo, "negativefirst")
+	if err != nil {
+		return nil, err
+	}
+	if g.Wrap() {
 		return nil, fmt.Errorf("routing: negative-first requires a mesh (turn model does not cover wraparound)")
 	}
-	return &NegativeFirst{topo: topo, numVCs: numVCs}, nil
+	return &NegativeFirst{topo: g, numVCs: numVCs}, nil
 }
 
 // Name implements Func.

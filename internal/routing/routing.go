@@ -20,6 +20,18 @@
 //     adaptive in both phases, single-VC deadlock-free on any mesh.
 //   - "dor-nodateline": deliberately UNSAFE torus DOR (cyclic CDG), usable
 //     only with the wormhole engine's abort-and-retry recovery (E16).
+//   - "updown": up*/down* routing on fat trees (topology.FatTree only) —
+//     adaptive over the redundant up paths with Sancho-style balancing,
+//     deadlock-free with a single VC because down->up turns never occur.
+//   - "vcfree": the VC-free deadlock-free full-mesh scheme of Cano et al.
+//     (HOTI 2025; topology.FullMesh only) — direct delivery plus 2-hop
+//     adaptivity restricted to label-increasing link pairs.
+//   - "vcfree-nolabel": the same without the label restriction — cyclic CDG,
+//     recovery-only, the full-mesh counterpart of dor-nodateline.
+//
+// The five cube functions require the topology to implement
+// topology.Geometry (coordinates, offsets); their constructors reject other
+// families with a clear error instead of assuming cube shape.
 package routing
 
 import (
@@ -27,6 +39,17 @@ import (
 
 	"repro/internal/topology"
 )
+
+// geometryOf asserts the cube-coordinate extension a cube-only routing
+// function needs, turning a wrong-family configuration into a construction
+// error instead of a latent shape assumption.
+func geometryOf(topo topology.Topology, fnName string) (topology.Geometry, error) {
+	g, ok := topo.(topology.Geometry)
+	if !ok {
+		return nil, fmt.Errorf("routing: %s needs cube coordinate geometry, but %s does not provide it (use updown on fat trees, vcfree on full meshes)", fnName, topo.Name())
+	}
+	return g, nil
+}
 
 // Candidate is one (output link, virtual channel) pair a header flit may be
 // forwarded on, in preference order.
@@ -60,11 +83,11 @@ type Func interface {
 // them. Tools that sweep "all routing functions" (cmd/cdgcheck, the verify
 // matrix tests) iterate this instead of hardcoding the set.
 func Names() []string {
-	return []string{"dor", "duato", "westfirst", "negativefirst", "dor-nodateline"}
+	return []string{"dor", "duato", "westfirst", "negativefirst", "dor-nodateline", "updown", "vcfree", "vcfree-nolabel"}
 }
 
-// New builds the routing function named by name ("dor", "duato" or
-// "westfirst") for the given topology with numVCs virtual channels.
+// New builds the routing function named by name (see Names) for the given
+// topology with numVCs virtual channels.
 func New(name string, topo topology.Topology, numVCs int) (Func, error) {
 	switch name {
 	case "dor":
@@ -76,9 +99,15 @@ func New(name string, topo topology.Topology, numVCs int) (Func, error) {
 	case "negativefirst":
 		return NewNegativeFirst(topo, numVCs)
 	case "dor-nodateline":
-		return NewDORNoDateline(topo, numVCs), nil
+		return NewDORNoDateline(topo, numVCs)
+	case "updown":
+		return NewUpDown(topo, numVCs)
+	case "vcfree":
+		return NewVCFree(topo, numVCs)
+	case "vcfree-nolabel":
+		return NewVCFreeNoLabel(topo, numVCs)
 	default:
-		return nil, fmt.Errorf("routing: unknown function %q (want dor, duato, westfirst, negativefirst or dor-nodateline)", name)
+		return nil, fmt.Errorf("routing: unknown function %q (want one of %v)", name, Names())
 	}
 }
 
@@ -89,13 +118,17 @@ func New(name string, topo topology.Topology, numVCs int) (Func, error) {
 // deadlocks the routing function permits, and for proving the CDG checker
 // non-vacuous. Never use it without recovery enabled.
 type DORNoDateline struct {
-	topo   topology.Topology
+	topo   topology.Geometry
 	numVCs int
 }
 
 // NewDORNoDateline constructs the unrestricted function.
-func NewDORNoDateline(topo topology.Topology, numVCs int) *DORNoDateline {
-	return &DORNoDateline{topo: topo, numVCs: numVCs}
+func NewDORNoDateline(topo topology.Topology, numVCs int) (*DORNoDateline, error) {
+	g, err := geometryOf(topo, "dor-nodateline")
+	if err != nil {
+		return nil, err
+	}
+	return &DORNoDateline{topo: g, numVCs: numVCs}, nil
 }
 
 // Name implements Func.
@@ -139,19 +172,23 @@ func (r *DORNoDateline) Candidates(here, dst topology.Node, _ topology.LinkID, _
 // splits VCs into two classes per direction ring; see datelineClass for the
 // memoryless class rule.
 type DOR struct {
-	topo   topology.Topology
+	topo   topology.Geometry
 	numVCs int
 }
 
 // NewDOR constructs dimension-order routing. Tori require numVCs >= 2.
 func NewDOR(topo topology.Topology, numVCs int) (*DOR, error) {
+	g, err := geometryOf(topo, "dor")
+	if err != nil {
+		return nil, err
+	}
 	if numVCs < 1 {
 		return nil, fmt.Errorf("routing: dor needs at least 1 VC, got %d", numVCs)
 	}
-	if topo.Wrap() && numVCs < 2 {
+	if g.Wrap() && numVCs < 2 {
 		return nil, fmt.Errorf("routing: dor on a torus needs >= 2 VCs for the dateline scheme, got %d", numVCs)
 	}
-	return &DOR{topo: topo, numVCs: numVCs}, nil
+	return &DOR{topo: g, numVCs: numVCs}, nil
 }
 
 // Name implements Func.
@@ -213,7 +250,7 @@ func (r *DOR) Candidates(here, dst topology.Node, inLink topology.LinkID, inVC i
 // class 0 -> class 1. The channel dependency graph is acyclic (verified by
 // TestTheoremCDGAcyclic). It reads the single coordinate it needs through
 // CoordAlong, so it allocates nothing.
-func datelineClass(topo topology.Topology, here topology.Node, dim int, dir topology.Dir, off int) int {
+func datelineClass(topo topology.Geometry, here topology.Node, dim int, dir topology.Dir, off int) int {
 	x := topo.CoordAlong(here, dim)
 	k := topo.Radix(dim)
 	if dir == topology.Plus {
@@ -240,7 +277,7 @@ func datelineClass(topo topology.Topology, here topology.Node, dim int, dir topo
 // dateline classes (class 1 from the wraparound hop onward). The remaining
 // VCs are fully adaptive across every minimal direction.
 type Duato struct {
-	topo    topology.Topology
+	topo    topology.Geometry
 	numVCs  int
 	escape  Func
 	adaptLo int // first adaptive VC index
@@ -249,16 +286,20 @@ type Duato struct {
 // NewDuato constructs the adaptive function. Meshes need >= 2 VCs (1 escape +
 // adaptive); tori need >= 3 (2 dateline escape classes + adaptive).
 func NewDuato(topo topology.Topology, numVCs int) (*Duato, error) {
-	if topo.Wrap() {
+	g, err := geometryOf(topo, "duato")
+	if err != nil {
+		return nil, err
+	}
+	if g.Wrap() {
 		if numVCs < 3 {
 			return nil, fmt.Errorf("routing: duato on a torus needs >= 3 VCs (2 dateline escape + adaptive), got %d", numVCs)
 		}
-		return &Duato{topo: topo, numVCs: numVCs, escape: &torusEscape{topo: topo, numVCs: numVCs}, adaptLo: 2}, nil
+		return &Duato{topo: g, numVCs: numVCs, escape: &torusEscape{topo: g, numVCs: numVCs}, adaptLo: 2}, nil
 	}
 	if numVCs < 2 {
 		return nil, fmt.Errorf("routing: duato needs >= 2 VCs (escape + adaptive), got %d", numVCs)
 	}
-	return &Duato{topo: topo, numVCs: numVCs, escape: &meshEscape{topo: topo, numVCs: numVCs}, adaptLo: 1}, nil
+	return &Duato{topo: g, numVCs: numVCs, escape: &meshEscape{topo: g, numVCs: numVCs}, adaptLo: 1}, nil
 }
 
 // Name implements Func.
@@ -330,7 +371,7 @@ func (r *Duato) Candidates(here, dst topology.Node, inLink topology.LinkID, inVC
 // restricted to VC 0. Its dependency graph is acyclic, satisfying Duato's
 // condition with a single escape VC.
 type meshEscape struct {
-	topo   topology.Topology
+	topo   topology.Geometry
 	numVCs int
 }
 
@@ -369,7 +410,7 @@ func (r *meshEscape) Candidates(here, dst topology.Node, _ topology.LinkID, _ in
 // destination, a message re-entering the escape network from an adaptive
 // excursion lands in exactly the class it would have had anyway.
 type torusEscape struct {
-	topo   topology.Topology
+	topo   topology.Geometry
 	numVCs int
 }
 

@@ -6,8 +6,8 @@ import (
 	"repro/internal/topology"
 )
 
-func mesh44() topology.Topology  { return topology.MustCube([]int{4, 4}, false) }
-func torus44() topology.Topology { return topology.MustCube([]int{4, 4}, true) }
+func mesh44() topology.Geometry  { return topology.MustCube([]int{4, 4}, false) }
+func torus44() topology.Geometry { return topology.MustCube([]int{4, 4}, true) }
 
 func TestNewValidation(t *testing.T) {
 	if _, err := New("bogus", mesh44(), 2); err == nil {
@@ -287,7 +287,7 @@ func TestCDGDetectsKnownCycle(t *testing.T) {
 
 // brokenTorusDOR routes dimension order on a torus with a single VC and no
 // dateline — its ring dependencies are cyclic.
-type brokenTorusDOR struct{ topo topology.Topology }
+type brokenTorusDOR struct{ topo topology.Geometry }
 
 func (r *brokenTorusDOR) Name() string { return "broken-dor" }
 func (r *brokenTorusDOR) NumVCs() int  { return 1 }

@@ -7,16 +7,22 @@ import (
 )
 
 // This file implements table-driven routing: the per-cycle hot path of both
-// engines is a Candidates call, and every routing function in this package is
-// a pure function of (current node, destination) — the inLink/inVC arguments
-// exist for the Func contract but no implemented algorithm reads them, and
-// the dateline virtual-channel classes are themselves memoryless functions of
-// position and remaining offset. That purity is exactly the precondition for
+// engines is a Candidates call, and almost every routing function in this
+// package is a pure function of (current node, destination) — the
+// inLink/inVC arguments exist for the Func contract, and the dateline
+// virtual-channel classes are themselves memoryless functions of position
+// and remaining offset. That purity is exactly the precondition for
 // precomputation: at fabric build time the algorithmic implementation is run
 // once for every (here, dst) pair and its candidate sequence is frozen into a
 // flat arena, after which Candidates is a two-load slice-view lookup with
 // zero allocation and no arithmetic. The algorithmic implementations remain
 // the table generator and the cross-check oracle (TestTableMatchesOracle).
+//
+// Functions that DO read inLink (the full-mesh VC-free scheme restricts
+// transit hops to the direct link) declare it via the InLinkDependent
+// marker; table selection must leave them algorithmic, because freezing
+// Candidates(..., Invalid, 0) would erase the transit restriction and with
+// it the deadlock-freedom argument.
 
 // DefaultTableMaxNodes bounds automatic table construction: a table holds
 // Nodes^2 candidate lists, so beyond this size the quadratic memory is not
@@ -65,6 +71,19 @@ type TableInfo struct {
 	Gated bool
 }
 
+// InLinkDependent is implemented by routing functions whose Candidates
+// output depends on the input link (not just (here, dst)). Such functions
+// cannot be frozen into (here, dst)-indexed tables.
+type InLinkDependent interface {
+	InLinkDependent() bool
+}
+
+// inLinkDependent reports whether fn declares input-link dependence.
+func inLinkDependent(fn Func) bool {
+	d, ok := fn.(InLinkDependent)
+	return ok && d.InLinkDependent()
+}
+
 // TableFunc is a routing function accelerated by a precomputed (here, dst)
 // candidate table. It implements Func and is safe for concurrent Candidates
 // calls (lookups only read the frozen arena).
@@ -108,7 +127,7 @@ func BuildTable(fn Func, topo topology.Topology) *TableFunc {
 // standard gate), and fn unchanged otherwise. Candidate sequences are
 // identical either way.
 func WithTable(fn Func, topo topology.Topology, maxNodes int) Func {
-	if topo.Nodes() > maxNodes {
+	if topo.Nodes() > maxNodes || inLinkDependent(fn) {
 		return fn
 	}
 	return BuildTable(fn, topo)

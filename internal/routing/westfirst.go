@@ -15,7 +15,7 @@ import (
 // escape split — a partially adaptive contrast to DOR (none) and Duato
 // (fully adaptive) in the evaluation matrix.
 type WestFirst struct {
-	topo   topology.Topology
+	topo   topology.Geometry
 	numVCs int
 }
 
@@ -25,13 +25,17 @@ func NewWestFirst(topo topology.Topology, numVCs int) (*WestFirst, error) {
 	if numVCs < 1 {
 		return nil, fmt.Errorf("routing: west-first needs at least 1 VC, got %d", numVCs)
 	}
-	if topo.Wrap() {
+	g, err := geometryOf(topo, "westfirst")
+	if err != nil {
+		return nil, err
+	}
+	if g.Wrap() {
 		return nil, fmt.Errorf("routing: west-first requires a mesh (turn model does not cover wraparound)")
 	}
-	if topo.Dims() != 2 {
-		return nil, fmt.Errorf("routing: west-first is defined for 2-D meshes, got %d dimensions", topo.Dims())
+	if g.Dims() != 2 {
+		return nil, fmt.Errorf("routing: west-first is defined for 2-D meshes, got %d dimensions", g.Dims())
 	}
-	return &WestFirst{topo: topo, numVCs: numVCs}, nil
+	return &WestFirst{topo: g, numVCs: numVCs}, nil
 }
 
 // Name implements Func.

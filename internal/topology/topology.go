@@ -1,9 +1,18 @@
-// Package topology models the direct interconnection networks the paper
-// targets: k-ary n-cubes (meshes and tori) and hypercubes, the "low
-// dimensional topologies" of state-of-the-art machines circa the paper
-// (section 1). It provides node/coordinate conversion, link enumeration, and
-// the per-dimension signed offsets that the routing probe carries in its
-// Xi-offset fields (Figure 4).
+// Package topology models the interconnection networks the simulator runs
+// on. The paper targets direct k-ary n-cubes (meshes and tori) and
+// hypercubes, the "low dimensional topologies" of state-of-the-art machines
+// circa the paper (section 1); those are the Cube family, which additionally
+// provides node/coordinate conversion and the per-dimension signed offsets
+// that the routing probe carries in its Xi-offset fields (Figure 4). Two
+// further families exercise the protocols' topology independence: FatTree
+// (k-ary n-tree, up*/down* routing) and FullMesh (direct all-to-all, VC-free
+// deadlock-free routing).
+//
+// The core Topology interface is deliberately shape-agnostic: node degree,
+// link-slot layout, distance and diameter are owned by the implementation.
+// Cube-specific coordinate geometry lives behind the Geometry extension,
+// which consumers must type-assert for (cube-only routing functions do this
+// in their constructors and fail cleanly on other families).
 package topology
 
 import (
@@ -35,16 +44,23 @@ func (d Dir) String() string {
 	return "-"
 }
 
-// LinkID identifies a unidirectional physical link slot. Every node has
-// 2*Dims() outgoing slots, one per (dimension, direction); on meshes the
-// boundary slots exist as IDs but carry no link (Exists reports false).
-// LinkID = int(node)*2*dims + 2*dim + int(dir).
+// LinkID identifies a unidirectional physical link slot. The slot layout is
+// topology-owned: node n's outgoing slots are the contiguous range
+// [SlotBase(n), SlotBase(n)+OutDegree(n)), one per local output port. Some
+// slots may exist as IDs but carry no physical link (mesh boundary ports);
+// LinkByID reports those with ok == false. On cubes the layout is the
+// historical LinkID = int(node)*2*dims + 2*dim + int(dir) (port 2*dim+dir),
+// kept bit-for-bit so cube runs are unchanged.
 type LinkID int
 
 // Invalid is the sentinel for "no link".
 const Invalid LinkID = -1
 
-// Link describes one unidirectional physical link.
+// Link describes one unidirectional physical link. Dim and Dir are
+// family-defined labels: on cubes they are the dimension travelled and the
+// coordinate direction; on fat trees Dim is the tree level boundary crossed
+// and Dir is Plus for upward (toward the roots) and Minus for downward
+// hops; on full meshes Dim is 0 and Dir is Plus.
 type Link struct {
 	ID   LinkID
 	From Node
@@ -57,10 +73,53 @@ type Link struct {
 	Wrap bool
 }
 
-// Topology is the read-only interface the rest of the simulator consumes.
+// Topology is the shape-agnostic read-only interface the rest of the
+// simulator consumes: node and host counts, the per-node link-slot layout,
+// and hop distances. Anything needing cube coordinates must type-assert the
+// Geometry extension.
 type Topology interface {
-	// Nodes returns the number of nodes.
+	// Nodes returns the number of network vertices (routers). On indirect
+	// topologies this includes switch-only vertices with no processor.
 	Nodes() int
+	// Hosts returns the number of processor-bearing nodes. Hosts are always
+	// numbered 0..Hosts()-1; traffic originates and terminates only there.
+	// On direct topologies (cubes, full mesh) Hosts() == Nodes().
+	Hosts() int
+	// OutDegree returns the number of outgoing link slots (ports) at n.
+	// Ports are indexed 0..OutDegree(n)-1; some may be phantom slots with no
+	// physical link (mesh boundaries).
+	OutDegree(n Node) int
+	// MaxOutDegree returns the maximum OutDegree over all nodes — the bound
+	// per-node scratch arenas are sized from.
+	MaxOutDegree() int
+	// SlotBase returns the first LinkID of node n's contiguous slot range;
+	// its ports occupy [SlotBase(n), SlotBase(n)+OutDegree(n)).
+	SlotBase(n Node) int
+	// OutSlot returns the outgoing link slot of n's port (0-based). The ID
+	// is always well-formed; ok reports whether the physical link exists.
+	OutSlot(n Node, port int) (id LinkID, ok bool)
+	// LinkByID resolves a link slot. ok is false for non-existent phantom
+	// slots and out-of-range IDs.
+	LinkByID(id LinkID) (Link, bool)
+	// NumLinkSlots returns the total slot count (the sum of OutDegree over
+	// all nodes), the size of dense per-link arrays.
+	NumLinkSlots() int
+	// Distance returns the minimal hop count between a and b.
+	Distance(a, b Node) int
+	// Diameter returns the maximum Distance over host pairs — the hop bound
+	// livelock proofs and drain deadlines scale with.
+	Diameter() int
+	// Name returns a human-readable description, e.g. "8-ary 2-cube (torus)".
+	Name() string
+}
+
+// Geometry is the cube-coordinate extension of Topology: per-dimension
+// radixes, coordinate conversion, and the signed minimal offsets the paper's
+// probe carries in its Xi-offset fields (Figure 4). Only the Cube family
+// implements it; cube-specific routing functions assert it in their
+// constructors.
+type Geometry interface {
+	Topology
 	// Dims returns the number of dimensions.
 	Dims() int
 	// Radix returns the number of nodes along dimension d.
@@ -81,13 +140,6 @@ type Topology interface {
 	// OutLink returns the outgoing link slot of n along (dim, dir). The ID is
 	// always well-formed; ok reports whether the physical link exists.
 	OutLink(n Node, dim int, dir Dir) (id LinkID, ok bool)
-	// LinkByID resolves a link slot. ok is false for non-existent mesh
-	// boundary slots and out-of-range IDs.
-	LinkByID(id LinkID) (Link, bool)
-	// NumLinkSlots returns Nodes()*2*Dims(), the size of dense per-link arrays.
-	NumLinkSlots() int
-	// Distance returns the minimal hop count between a and b.
-	Distance(a, b Node) int
 	// Offsets writes the per-dimension signed minimal offsets from `from` to
 	// `to` into out (len >= Dims) and returns it. These are the probe's
 	// Xi-offset fields: moving one hop in Plus decreases a positive offset by
@@ -96,8 +148,6 @@ type Topology interface {
 	// OffsetAlong returns the single-dimension entry of Offsets without a
 	// scratch slice, for allocation-free routing decisions.
 	OffsetAlong(from, to Node, d int) int
-	// Name returns a human-readable description, e.g. "8-ary 2-cube (torus)".
-	Name() string
 }
 
 // Cube is a k-ary n-cube: radixes per dimension, with or without wraparound.
@@ -182,13 +232,48 @@ func NewHypercube(n int) (*Cube, error) {
 // Nodes implements Topology.
 func (c *Cube) Nodes() int { return c.nodes }
 
-// Dims implements Topology.
+// Hosts implements Topology: every cube node carries a processor.
+func (c *Cube) Hosts() int { return c.nodes }
+
+// OutDegree implements Topology: 2 slots per dimension at every node (mesh
+// boundary slots included as phantoms, preserving the historical layout).
+func (c *Cube) OutDegree(Node) int { return 2 * len(c.radix) }
+
+// MaxOutDegree implements Topology.
+func (c *Cube) MaxOutDegree() int { return 2 * len(c.radix) }
+
+// SlotBase implements Topology.
+func (c *Cube) SlotBase(n Node) int { return int(n) * 2 * len(c.radix) }
+
+// OutSlot implements Topology: port 2*dim+dir, matching OutLink.
+func (c *Cube) OutSlot(n Node, port int) (LinkID, bool) {
+	if port < 0 || port >= 2*len(c.radix) {
+		return Invalid, false
+	}
+	return c.OutLink(n, port/2, Dir(port%2))
+}
+
+// Diameter implements Topology: the closed form sum over dimensions of
+// k/2 (torus rings) or k-1 (mesh lines).
+func (c *Cube) Diameter() int {
+	d := 0
+	for _, k := range c.radix {
+		if c.wrap {
+			d += k / 2
+		} else {
+			d += k - 1
+		}
+	}
+	return d
+}
+
+// Dims implements Geometry.
 func (c *Cube) Dims() int { return len(c.radix) }
 
-// Radix implements Topology.
+// Radix implements Geometry.
 func (c *Cube) Radix(d int) int { return c.radix[d] }
 
-// Wrap implements Topology.
+// Wrap implements Geometry.
 func (c *Cube) Wrap() bool { return c.wrap }
 
 // Name implements Topology.
@@ -316,8 +401,9 @@ func (c *Cube) Offsets(from, to Node, out []int) []int {
 	return out[:len(c.radix)]
 }
 
-// AllLinks returns every existing physical link, in LinkID order. It is a
-// convenience for tests and the dependency-graph checker.
+// AllLinks returns every existing physical link, in LinkID order — the
+// canonical enumeration fault injection, the dependency-graph checker and
+// tests draw from (phantom slots never appear).
 func AllLinks(t Topology) []Link {
 	var links []Link
 	for id := 0; id < t.NumLinkSlots(); id++ {
@@ -326,6 +412,35 @@ func AllLinks(t Topology) []Link {
 		}
 	}
 	return links
+}
+
+// reverser is the optional fast path for ReverseLink: families with
+// irregular port layouts precompute the reverse mapping at construction.
+type reverser interface {
+	ReverseLinkID(id LinkID) (LinkID, bool)
+}
+
+// ReverseLink returns the link slot running opposite to l (from l.To back to
+// l.From), used by the probe engine to exclude immediate U-turns. Every
+// family shipped here has symmetric links, so ok is false only for malformed
+// input.
+func ReverseLink(t Topology, l Link) (LinkID, bool) {
+	if r, ok := t.(reverser); ok {
+		return r.ReverseLinkID(l.ID)
+	}
+	if g, ok := t.(Geometry); ok {
+		return g.OutLink(l.To, l.Dim, l.Dir.Opposite())
+	}
+	for port := 0; port < t.OutDegree(l.To); port++ {
+		id, ok := t.OutSlot(l.To, port)
+		if !ok {
+			continue
+		}
+		if ll, ok2 := t.LinkByID(id); ok2 && ll.To == l.From {
+			return id, true
+		}
+	}
+	return Invalid, false
 }
 
 func absInt(v int) int {

@@ -25,31 +25,40 @@ type Pattern interface {
 
 // NewPattern builds a pattern by name for the topology. Supported names:
 // uniform, transpose, bitreverse, bitcomplement, tornado, neighbor, hotspot.
+// Patterns address hosts (0..Hosts()-1): on cubes every node is a host; on a
+// fat tree the switches neither source nor sink traffic. Transpose and
+// tornado are coordinate permutations and need cube geometry.
 func NewPattern(name string, topo topology.Topology) (Pattern, error) {
+	hosts := topo.Hosts()
 	switch name {
 	case "uniform":
-		return Uniform{N: topo.Nodes()}, nil
+		return Uniform{N: hosts}, nil
 	case "transpose":
-		if topo.Dims() != 2 || topo.Radix(0) != topo.Radix(1) {
+		g, ok := topo.(topology.Geometry)
+		if !ok || g.Dims() != 2 || g.Radix(0) != g.Radix(1) {
 			return nil, fmt.Errorf("traffic: transpose needs a square 2-D network")
 		}
-		return Transpose{Topo: topo}, nil
+		return Transpose{Topo: g}, nil
 	case "bitreverse":
-		if topo.Nodes()&(topo.Nodes()-1) != 0 {
-			return nil, fmt.Errorf("traffic: bit-reversal needs a power-of-two node count")
+		if hosts&(hosts-1) != 0 {
+			return nil, fmt.Errorf("traffic: bit-reversal needs a power-of-two host count")
 		}
-		return BitReverse{N: topo.Nodes()}, nil
+		return BitReverse{N: hosts}, nil
 	case "bitcomplement":
-		if topo.Nodes()&(topo.Nodes()-1) != 0 {
-			return nil, fmt.Errorf("traffic: bit-complement needs a power-of-two node count")
+		if hosts&(hosts-1) != 0 {
+			return nil, fmt.Errorf("traffic: bit-complement needs a power-of-two host count")
 		}
-		return BitComplement{N: topo.Nodes()}, nil
+		return BitComplement{N: hosts}, nil
 	case "tornado":
-		return Tornado{Topo: topo}, nil
+		g, ok := topo.(topology.Geometry)
+		if !ok {
+			return nil, fmt.Errorf("traffic: tornado is a torus-coordinate pattern; %s has no cube geometry", topo.Name())
+		}
+		return Tornado{Topo: g}, nil
 	case "neighbor":
 		return Neighbor{Topo: topo}, nil
 	case "hotspot":
-		return Hotspot{N: topo.Nodes(), Spot: topology.Node(topo.Nodes() / 2), Fraction: 0.2}, nil
+		return Hotspot{N: hosts, Spot: topology.Node(hosts / 2), Fraction: 0.2}, nil
 	case "near":
 		return NewNear(topo, 2)
 	default:
@@ -57,7 +66,7 @@ func NewPattern(name string, topo topology.Topology) (Pattern, error) {
 	}
 }
 
-// Near picks uniformly among nodes within Radius hops (excluding self) — the
+// Near picks uniformly among hosts within Radius hops (excluding self) — the
 // spatial communication locality the paper expects from "an appropriate
 // mapping of processes to processors" (section 1). Short circuits consume few
 // wave channels, so many can coexist.
@@ -65,27 +74,28 @@ type Near struct {
 	Topo   topology.Topology
 	Radius int
 
-	within [][]topology.Node // per source: nodes at distance 1..Radius
+	within [][]topology.Node // per source host: hosts at distance 1..Radius
 }
 
 // NewNear precomputes the neighbourhoods by breadth-first search to depth
-// Radius from each source — O(Nodes * ball size), where the former
+// Radius from each source host — O(Hosts * ball size), where the former
 // all-pairs Distance scan was O(Nodes^2) and alone dominated construction
-// on mega topologies (64x64+). Hop count equals Distance on k-ary n-cubes,
-// and each ball is sorted ascending to reproduce the exact dst order (and
-// hence Pick behaviour) of the old scan.
+// on mega topologies (64x64+). The BFS expands through every out link (on a
+// fat tree that traverses switches), but only hosts enter the ball; each
+// ball is sorted ascending to reproduce the exact dst order (and hence Pick
+// behaviour) of the old scan.
 func NewNear(topo topology.Topology, radius int) (*Near, error) {
 	if radius < 1 {
 		return nil, fmt.Errorf("traffic: near radius must be >= 1, got %d", radius)
 	}
-	n := &Near{Topo: topo, Radius: radius, within: make([][]topology.Node, topo.Nodes())}
-	dims := topo.Dims()
+	hosts := topo.Hosts()
+	n := &Near{Topo: topo, Radius: radius, within: make([][]topology.Node, hosts)}
 	seen := make([]int32, topo.Nodes()) // generation marks, one pass per src
 	for i := range seen {
 		seen[i] = -1
 	}
 	var frontier, next []topology.Node
-	for src := topology.Node(0); int(src) < topo.Nodes(); src++ {
+	for src := topology.Node(0); int(src) < hosts; src++ {
 		gen := int32(src)
 		seen[src] = gen
 		frontier = append(frontier[:0], src)
@@ -93,14 +103,19 @@ func NewNear(topo topology.Topology, radius int) (*Near, error) {
 		for depth := 0; depth < radius && len(frontier) > 0; depth++ {
 			next = next[:0]
 			for _, at := range frontier {
-				for d := 0; d < dims; d++ {
-					for _, dir := range []topology.Dir{topology.Plus, topology.Minus} {
-						nb, ok := topo.Neighbor(at, d, dir)
-						if !ok || seen[nb] == gen {
-							continue
-						}
-						seen[nb] = gen
-						next = append(next, nb)
+				for port := 0; port < topo.OutDegree(at); port++ {
+					id, ok := topo.OutSlot(at, port)
+					if !ok {
+						continue // phantom slot (mesh boundary)
+					}
+					l, _ := topo.LinkByID(id)
+					nb := l.To
+					if seen[nb] == gen {
+						continue
+					}
+					seen[nb] = gen
+					next = append(next, nb)
+					if int(nb) < hosts {
 						ball = append(ball, nb)
 					}
 				}
@@ -143,7 +158,7 @@ func (u Uniform) Pick(src topology.Node, rng *sim.RNG) topology.Node {
 
 // Transpose sends (x, y) to (y, x) — a classic adversarial permutation for
 // dimension-order routing.
-type Transpose struct{ Topo topology.Topology }
+type Transpose struct{ Topo topology.Geometry }
 
 // Name implements Pattern.
 func (Transpose) Name() string { return "transpose" }
@@ -181,7 +196,7 @@ func (b BitComplement) Pick(src topology.Node, _ *sim.RNG) topology.Node {
 
 // Tornado sends half way around each dimension — the worst case for minimal
 // routing on tori.
-type Tornado struct{ Topo topology.Topology }
+type Tornado struct{ Topo topology.Geometry }
 
 // Name implements Pattern.
 func (Tornado) Name() string { return "tornado" }
@@ -197,7 +212,8 @@ func (t Tornado) Pick(src topology.Node, _ *sim.RNG) topology.Node {
 	return t.Topo.NodeAt(c)
 }
 
-// Neighbor sends to the +1 neighbour in dimension 0 (maximal locality).
+// Neighbor sends to the +1 neighbour in dimension 0 (maximal locality) on
+// cube geometries, and to the next host in numbering order elsewhere.
 type Neighbor struct{ Topo topology.Topology }
 
 // Name implements Pattern.
@@ -205,11 +221,14 @@ func (Neighbor) Name() string { return "neighbor" }
 
 // Pick implements Pattern.
 func (n Neighbor) Pick(src topology.Node, _ *sim.RNG) topology.Node {
-	if nb, ok := n.Topo.Neighbor(src, 0, topology.Plus); ok {
+	if g, ok := n.Topo.(topology.Geometry); ok {
+		if nb, ok := g.Neighbor(src, 0, topology.Plus); ok {
+			return nb
+		}
+		nb, _ := g.Neighbor(src, 0, topology.Minus)
 		return nb
 	}
-	nb, _ := n.Topo.Neighbor(src, 0, topology.Minus)
-	return nb
+	return topology.Node((int(src) + 1) % n.Topo.Hosts())
 }
 
 // Hotspot sends a fraction of traffic to one node and the rest uniformly.

@@ -7,7 +7,7 @@ import (
 	"repro/internal/topology"
 )
 
-func torus88() topology.Topology { return topology.MustCube([]int{8, 8}, true) }
+func torus88() topology.Geometry { return topology.MustCube([]int{8, 8}, true) }
 
 func TestNewPatternNames(t *testing.T) {
 	topo := torus88()

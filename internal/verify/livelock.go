@@ -75,9 +75,11 @@ func proveDelivery(topo topology.Topology, fn routing.Func) deliveryProof {
 		}
 	}
 
-	// Injection states: (src, dst) pairs entering the network.
-	for src := topology.Node(0); int(src) < nodes; src++ {
-		for dst := topology.Node(0); int(dst) < nodes; dst++ {
+	// Injection states: (src, dst) host pairs entering the network (switch
+	// nodes on indirect families never source or sink messages).
+	hosts := topo.Hosts()
+	for src := topology.Node(0); int(src) < hosts; src++ {
+		for dst := topology.Node(0); int(dst) < hosts; dst++ {
 			if src == dst {
 				continue
 			}
@@ -120,7 +122,7 @@ func proveDelivery(topo topology.Topology, fn routing.Func) deliveryProof {
 	}
 
 	if monotone {
-		return deliveryProof{ok: true, monotone: true, bound: diameter(topo)}
+		return deliveryProof{ok: true, monotone: true, bound: topo.Diameter()}
 	}
 	// Non-minimal hops exist: fall back to per-destination state-graph
 	// acyclicity, which still bounds every candidate walk.
@@ -139,14 +141,14 @@ func stateCycle(topo topology.Topology, fn routing.Func) []string {
 	color := make([]byte, verts) // 0 white, 1 gray, 2 black
 	parent := make([]int32, verts)
 
-	for dst := topology.Node(0); int(dst) < topo.Nodes(); dst++ {
+	for dst := topology.Node(0); int(dst) < topo.Hosts(); dst++ {
 		for i := range color {
 			color[i] = 0
 			parent[i] = -1
 		}
-		// Roots: first-hop channels of every source toward dst.
+		// Roots: first-hop channels of every source host toward dst.
 		var roots []int32
-		for src := topology.Node(0); int(src) < topo.Nodes(); src++ {
+		for src := topology.Node(0); int(src) < topo.Hosts(); src++ {
 			if src == dst {
 				continue
 			}
@@ -210,20 +212,6 @@ func stateCycle(topo topology.Topology, fn routing.Func) []string {
 		}
 	}
 	return nil
-}
-
-// diameter returns the maximum minimal hop distance of the topology.
-func diameter(topo topology.Topology) int {
-	d := 0
-	for dim := 0; dim < topo.Dims(); dim++ {
-		k := topo.Radix(dim)
-		if topo.Wrap() {
-			d += k / 2
-		} else {
-			d += k - 1
-		}
-	}
-	return d
 }
 
 // proveLivelock assembles the Theorem 3-4 argument: bounded wormhole paths

@@ -77,6 +77,33 @@ func TestExperimentMatrix(t *testing.T) {
 	for _, fn := range []string{"dor", "westfirst", "negativefirst", "duato"} {
 		matrix = append(matrix, combo{"e21", mesh88, fn, 2, protocol.Wormhole, 2, 0})
 	}
+	// Non-cube families: fat-tree up*/down* and full-mesh VC-free routing,
+	// across every protocol the experiment suite ships. Both certify with a
+	// single VC — up*/down* by acyclic up-then-down ordering, VC-free by the
+	// Cano-style label restriction on 2-hop paths.
+	fattree, err := topology.NewFatTree(4, 2) // 16 hosts, 12 switches
+	if err != nil {
+		t.Fatal(err)
+	}
+	fattree2 := topology.MustFatTree(2, 3) // 8 hosts, deeper tree
+	fullmesh, err := topology.NewFullMesh(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []protocol.Kind{protocol.Wormhole, protocol.CLRP, protocol.CARP, protocol.PCS} {
+		matrix = append(matrix,
+			combo{"fattree", fattree, "updown", 1, k, 2, 0},
+			combo{"fattree", fattree, "updown", 2, k, 2, 0},
+			combo{"fattree-deep", fattree2, "updown", 1, k, 2, 0},
+			combo{"fullmesh", fullmesh, "vcfree", 1, k, 2, 0},
+			combo{"fullmesh", fullmesh, "vcfree", 2, k, 2, 0},
+		)
+	}
+	// The unlabeled full-mesh variant is cyclic by design: recovery-only,
+	// mirroring e16's dor-nodateline role.
+	matrix = append(matrix,
+		combo{"fullmesh-recovery", fullmesh, "vcfree-nolabel", 1, protocol.Wormhole, 2, 256},
+	)
 
 	for _, c := range matrix {
 		sp := Spec{

@@ -158,7 +158,7 @@ func TestRecoveryCertification(t *testing.T) {
 // VC 0 routes dimension-order 0-then-1, VC 1 routes 1-then-0, and Escape
 // returns the whole thing — whose union dependency graph has turn cycles.
 // The prover must find the valid subrelation (VC 0 alone) on its own.
-type xyyx struct{ topo topology.Topology }
+type xyyx struct{ topo topology.Geometry }
 
 func (f *xyyx) Name() string         { return "xyyx-test" }
 func (f *xyyx) NumVCs() int          { return 2 }
@@ -212,7 +212,7 @@ func TestSubrelationSearch(t *testing.T) {
 
 // pingpong always offers both ring directions — connected but with
 // non-minimal hops forming routing-state cycles: a livelock counterexample.
-type pingpong struct{ topo topology.Topology }
+type pingpong struct{ topo topology.Geometry }
 
 func (f *pingpong) Name() string         { return "pingpong-test" }
 func (f *pingpong) NumVCs() int          { return 1 }
@@ -275,8 +275,8 @@ func TestMonotoneShippedFunctions(t *testing.T) {
 		if !d.ok || !d.monotone {
 			t.Errorf("%s on %s: delivery = %+v, want monotone", c.name, c.topo.Name(), d)
 		}
-		if d.bound != diameter(c.topo) {
-			t.Errorf("%s: bound %d, want diameter %d", c.name, d.bound, diameter(c.topo))
+		if d.bound != c.topo.Diameter() {
+			t.Errorf("%s: bound %d, want diameter %d", c.name, d.bound, c.topo.Diameter())
 		}
 	}
 }

@@ -107,10 +107,12 @@ func buildWaitFor(sp Spec, kind protocol.Kind, base *deadlockProof, faulted []pc
 		}
 	}
 
-	// Protocol strata per node.
+	// Protocol strata per host node. The vertex space is laid out per node
+	// for indexing simplicity, but only hosts source messages: switch nodes
+	// on indirect families keep empty cache/setup/fallback vertices.
 	var cands []Candidate
 	seen := make([]bool, w)
-	for n := 0; n < nodes; n++ {
+	for n := 0; n < topo.Hosts(); n++ {
 		cache := g.cache0 + int32(n)
 		setup := g.setup0 + int32(n)
 		fall := g.fall0 + int32(n)
@@ -121,7 +123,7 @@ func buildWaitFor(sp Spec, kind protocol.Kind, base *deadlockProof, faulted []pc
 		for i := range seen {
 			seen[i] = false
 		}
-		for dst := topology.Node(0); int(dst) < nodes; dst++ {
+		for dst := topology.Node(0); int(dst) < topo.Hosts(); dst++ {
 			if int(dst) == n {
 				continue
 			}
@@ -278,16 +280,14 @@ func proveResidual(sp Spec, kind protocol.Kind, dl deadlockProof) Proof {
 	if kind != protocol.Wormhole {
 		for n := 0; n < sp.Topo.Nodes(); n++ {
 			alive := 0
-			for dim := 0; dim < sp.Topo.Dims(); dim++ {
-				for _, dir := range []topology.Dir{topology.Plus, topology.Minus} {
-					link, ok := sp.Topo.OutLink(topology.Node(n), dim, dir)
-					if !ok {
-						continue
-					}
-					for sw := 0; sw < sp.NumSwitches; sw++ {
-						if !removed[pcs.Channel{Link: link, Switch: sw}] {
-							alive++
-						}
+			for port := 0; port < sp.Topo.OutDegree(topology.Node(n)); port++ {
+				link, ok := sp.Topo.OutSlot(topology.Node(n), port)
+				if !ok {
+					continue
+				}
+				for sw := 0; sw < sp.NumSwitches; sw++ {
+					if !removed[pcs.Channel{Link: link, Switch: sw}] {
+						alive++
 					}
 				}
 			}

@@ -97,7 +97,7 @@ func (e *Engine) SetParallel(workers int) {
 	// thousands of one-off allocations across the run and break allocs/cycle
 	// parity with serial. Capacity-capped subslices (three-index) keep a port
 	// that somehow outgrows its view from bleeding into its neighbour's.
-	capPer := e.topo.Dims()*e.prm.NumVCs + 2 // Duato worst case: every dim × every VC, plus escape
+	capPer := e.topo.MaxOutDegree()*e.prm.NumVCs + 2 // worst case: every out port × every VC, plus escape
 	candArena := make([]routing.Candidate, total*capPer)
 	chArena := make([]int32, total*capPer)
 	for i := 0; i < total; i++ {

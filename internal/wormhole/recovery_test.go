@@ -13,7 +13,7 @@ import (
 // dateline-free DOR and a single VC, the channel dependency cycle actually
 // fills and deadlocks: every node sends half way around the ring in the Plus
 // direction with messages long enough to span several routers.
-func ringDeadlockLoad(h *harness, topo topology.Topology) int {
+func ringDeadlockLoad(h *harness, topo topology.Geometry) int {
 	k := topo.Radix(0)
 	id := flit.MsgID(1)
 	for x := 0; x < k; x++ {

@@ -29,11 +29,13 @@ import (
 
 // TopologyConfig selects the network shape.
 type TopologyConfig struct {
-	// Kind is "mesh", "torus" or "hypercube".
+	// Kind is "mesh", "torus", "hypercube", "fattree" or "fullmesh".
 	Kind string
-	// Radix lists nodes per dimension for mesh/torus (e.g. {8, 8}).
+	// Radix lists nodes per dimension for mesh/torus (e.g. {8, 8}). For
+	// fattree it is the arity k (one element); for fullmesh the node count
+	// (one element).
 	Radix []int
-	// Dims is the hypercube dimensionality (hypercube only).
+	// Dims is the hypercube dimensionality, or the fat-tree level count n.
 	Dims int
 }
 
@@ -46,8 +48,18 @@ func (tc TopologyConfig) Build() (topology.Topology, error) {
 		return topology.NewCube(tc.Radix, true)
 	case "hypercube":
 		return topology.NewHypercube(tc.Dims)
+	case "fattree":
+		if len(tc.Radix) != 1 {
+			return nil, fmt.Errorf("wave: fattree wants Radix = {k}, got %v", tc.Radix)
+		}
+		return topology.NewFatTree(tc.Radix[0], tc.Dims)
+	case "fullmesh":
+		if len(tc.Radix) != 1 {
+			return nil, fmt.Errorf("wave: fullmesh wants Radix = {nodes}, got %v", tc.Radix)
+		}
+		return topology.NewFullMesh(tc.Radix[0])
 	default:
-		return nil, fmt.Errorf("wave: unknown topology kind %q (want mesh, torus or hypercube)", tc.Kind)
+		return nil, fmt.Errorf("wave: unknown topology kind %q (want mesh, torus, hypercube, fattree or fullmesh)", tc.Kind)
 	}
 }
 

@@ -1,0 +1,51 @@
+package wave
+
+import "testing"
+
+// TestTopologyFamiliesEndToEnd runs the non-cube families — a 4-ary 2-tree
+// under up*/down* routing and a 16-node full mesh under VC-free routing —
+// through CLRP and CARP end to end, and requires Stats and Results to be
+// bit-identical across the auto (0), serial (1) and fixed-pool (4) engine
+// settings. This is the determinism contract extended beyond cubes: the
+// sharded parallel engine partitions topology-owned link slots, so a layout
+// bug in either family would surface here as divergence or a lost message.
+func TestTopologyFamiliesEndToEnd(t *testing.T) {
+	fattree := TopologyConfig{Kind: "fattree", Radix: []int{4}, Dims: 2}
+	fullmesh := TopologyConfig{Kind: "fullmesh", Radix: []int{16}}
+	cases := []struct {
+		name     string
+		topo     TopologyConfig
+		routing  string
+		protocol string
+		w        Workload
+	}{
+		{"fattree-clrp", fattree, "updown", "clrp", Workload{Pattern: "uniform", Load: 0.1, FixedLength: 48}},
+		{"fattree-carp", fattree, "updown", "carp", Workload{Pattern: "bitreverse", Load: 0.08, FixedLength: 64, WantCircuit: true}},
+		{"fattree-wormhole", fattree, "updown", "wormhole", Workload{Pattern: "uniform", Load: 0.15, FixedLength: 16}},
+		{"fullmesh-clrp", fullmesh, "vcfree", "clrp", Workload{Pattern: "uniform", Load: 0.1, FixedLength: 48}},
+		{"fullmesh-carp", fullmesh, "vcfree", "carp", Workload{Pattern: "bitreverse", Load: 0.08, FixedLength: 64, WantCircuit: true}},
+		{"fullmesh-wormhole", fullmesh, "vcfree", "wormhole", Workload{Pattern: "uniform", Load: 0.15, FixedLength: 16}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Topology = tc.topo
+			cfg.Routing = tc.routing
+			cfg.Protocol = tc.protocol
+			cfg.Seed = 12345
+			serStats, serRes := runForStats(t, cfg, tc.w, 1, 500, 2000)
+			if serRes.Delivered == 0 {
+				t.Fatal("no messages delivered in the measurement window")
+			}
+			for _, workers := range []int{0, 4} {
+				st, res := runForStats(t, cfg, tc.w, workers, 500, 2000)
+				if st != serStats {
+					t.Errorf("workers=%d: Stats diverged:\n serial: %+v\n got:    %+v", workers, serStats, st)
+				}
+				if res != serRes {
+					t.Errorf("workers=%d: Result diverged:\n serial: %+v\n got:    %+v", workers, serRes, res)
+				}
+			}
+		})
+	}
+}

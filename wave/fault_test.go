@@ -16,15 +16,13 @@ func isolationEvents(t *testing.T, cfg Config, n int, cycle, repair int64) []Fau
 		t.Fatal(err)
 	}
 	var evs []FaultEvent
-	for dim := 0; dim < topo.Dims(); dim++ {
-		for _, dir := range []topology.Dir{topology.Plus, topology.Minus} {
-			link, ok := topo.OutLink(topology.Node(n), dim, dir)
-			if !ok {
-				continue
-			}
-			for sw := 0; sw < cfg.NumSwitches; sw++ {
-				evs = append(evs, FaultEvent{Cycle: cycle, Link: int(link), Switch: sw, Repair: repair})
-			}
+	for port := 0; port < topo.OutDegree(topology.Node(n)); port++ {
+		link, ok := topo.OutSlot(topology.Node(n), port)
+		if !ok {
+			continue
+		}
+		for sw := 0; sw < cfg.NumSwitches; sw++ {
+			evs = append(evs, FaultEvent{Cycle: cycle, Link: int(link), Switch: sw, Repair: repair})
 		}
 	}
 	return evs

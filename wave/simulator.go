@@ -109,15 +109,23 @@ func (s *Simulator) Topology() topology.Topology { return s.topo }
 // Nodes returns the node count.
 func (s *Simulator) Nodes() int { return s.topo.Nodes() }
 
-// Neighbors returns the nodes directly linked to n, in (dimension,
-// direction) order — a convenience for writing workload programs.
+// Hosts returns the processor-bearing node count. Traffic originates and
+// terminates only at hosts; on indirect topologies (fat trees) this is
+// smaller than Nodes.
+func (s *Simulator) Hosts() int { return s.topo.Hosts() }
+
+// Neighbors returns the nodes directly linked to n, in port order (on cubes
+// that is (dimension, direction) order) — a convenience for writing workload
+// programs.
 func (s *Simulator) Neighbors(n int) []int {
 	var out []int
-	for dim := 0; dim < s.topo.Dims(); dim++ {
-		for _, dir := range []topology.Dir{topology.Plus, topology.Minus} {
-			if nb, ok := s.topo.Neighbor(topology.Node(n), dim, dir); ok {
-				out = append(out, int(nb))
-			}
+	for port := 0; port < s.topo.OutDegree(topology.Node(n)); port++ {
+		id, ok := s.topo.OutSlot(topology.Node(n), port)
+		if !ok {
+			continue
+		}
+		if l, ok := s.topo.LinkByID(id); ok {
+			out = append(out, int(l.To))
 		}
 	}
 	return out

@@ -133,7 +133,7 @@ func (s *Simulator) buildGenerator(w Workload) (*traffic.Generator, error) {
 		return nil, err
 	}
 	if w.WorkingSet > 0 {
-		pat, err = traffic.NewLocality(pat, s.topo.Nodes(), w.WorkingSet, w.Reuse, w.RedrawPeriod)
+		pat, err = traffic.NewLocality(pat, s.topo.Hosts(), w.WorkingSet, w.Reuse, w.RedrawPeriod)
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +146,7 @@ func (s *Simulator) buildGenerator(w Workload) (*traffic.Generator, error) {
 	if seed == 0 {
 		seed = s.cfg.Seed + 1
 	}
-	return traffic.NewGenerator(pat, dist, w.Load, s.topo.Nodes(), seed)
+	return traffic.NewGenerator(pat, dist, w.Load, s.topo.Hosts(), seed)
 }
 
 // RunLoad drives the simulator with open-loop traffic: `warmup` cycles to
@@ -175,14 +175,7 @@ func (s *Simulator) RunLoadContext(ctx context.Context, w Workload, warmup, meas
 	// wavefronts retry, so a short run on a huge fabric needs far more
 	// drain room than (warmup+measure) alone suggests.
 	drain := (warmup + measure) * 20
-	diameter := int64(0)
-	for d := 0; d < s.topo.Dims(); d++ {
-		if k := int64(s.topo.Radix(d)); s.topo.Wrap() {
-			diameter += k / 2
-		} else {
-			diameter += k - 1
-		}
-	}
+	diameter := int64(s.topo.Diameter())
 	if scaled := diameter * 256; scaled > drain {
 		drain = scaled
 	}
@@ -241,7 +234,7 @@ func (s *Simulator) finishLoad(ctx context.Context) (*Result, error) {
 		P95Latency:         run.Latency.Percentile(95),
 		P99Latency:         run.Latency.Percentile(99),
 		MaxLatency:         run.Latency.Max(),
-		Throughput:         run.Throughput(s.topo.Nodes()),
+		Throughput:         run.Throughput(s.topo.Hosts()),
 		AvgCircuitLatency:  run.CircuitLatency.Mean(),
 		AvgWormholeLatency: run.WormholeLatency.Mean(),
 		HitRate:            cs.HitRate(),
@@ -275,7 +268,7 @@ func (s *Simulator) OpenAll(patternName string) error {
 	case traffic.Uniform, traffic.Hotspot:
 		return fmt.Errorf("wave: OpenAll needs a deterministic pattern, got %q", patternName)
 	}
-	for n := 0; n < s.topo.Nodes(); n++ {
+	for n := 0; n < s.topo.Hosts(); n++ {
 		dst := pat.Pick(topology.Node(n), nil)
 		if int(dst) != n {
 			s.OpenCircuit(n, int(dst))
